@@ -1,0 +1,116 @@
+// Command insomnia runs one scheme over the evaluation scenario and prints
+// its energy and device metrics — the quick way to poke at the simulator.
+//
+// Usage:
+//
+//	insomnia [-scheme bh2k] [-seed 1] [-clients 272] [-gateways 40]
+//	         [-density 5.6] [-low 0.1] [-high 0.5] [-backup 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"insomnia/internal/bh2"
+	"insomnia/internal/sim"
+	"insomnia/internal/topology"
+	"insomnia/internal/trace"
+)
+
+var schemes = map[string]sim.Scheme{
+	"nosleep": sim.NoSleep,
+	"soi":     sim.SoI,
+	"soik":    sim.SoIKSwitch,
+	"soifull": sim.SoIFullSwitch,
+	"bh2k":    sim.BH2KSwitch,
+	"bh2full": sim.BH2FullSwitch,
+	"bh2nb":   sim.BH2NoBackup,
+	"optimal": sim.Optimal,
+	"central": sim.Centralized,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insomnia: ")
+	schemeName := flag.String("scheme", "bh2k", "scheme: nosleep|soi|soik|soifull|bh2k|bh2full|bh2nb|optimal|central")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	clients := flag.Int("clients", 272, "number of terminal devices")
+	gateways := flag.Int("gateways", 40, "number of gateways")
+	density := flag.Float64("density", topology.DefaultMeanInRange, "mean gateways in range per client")
+	low := flag.Float64("low", 0.10, "BH2 low threshold")
+	high := flag.Float64("high", 0.50, "BH2 high threshold")
+	backup := flag.Int("backup", 1, "BH2 backup gateways")
+	csvOut := flag.Bool("csv", false, "emit hourly CSV instead of a summary")
+	flag.Parse()
+
+	scheme, ok := schemes[*schemeName]
+	if !ok {
+		log.Fatalf("unknown scheme %q", *schemeName)
+	}
+
+	cfg := trace.DefaultSimConfig(*seed)
+	cfg.Clients, cfg.APs = *clients, *gateways
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := topology.OverlapGraph(*gateways, *density, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tp, err := topology.FromOverlap(g, tr.ClientAP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := bh2.DefaultParams()
+	params.Low, params.High, params.Backup = *low, *high, *backup
+
+	base, err := sim.Run(sim.Config{Trace: tr, Topo: tp, Scheme: sim.NoSleep, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{Trace: tr, Topo: tp, Scheme: scheme, Seed: *seed, BH2: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *csvOut {
+		sav := sim.SavingsSeries(res, base)
+		fmt.Println("hour,savings_pct,online_gateways,online_cards")
+		bins := res.OnlineGWs.Bins()
+		per := bins / 24
+		for h := 0; h < 24; h++ {
+			var s, gws, cards float64
+			for i := h * per; i < (h+1)*per; i++ {
+				s += sav[i] * 100
+				gws += res.OnlineGWs.MeanAt(i)
+				cards += res.OnlineCards.MeanAt(i)
+			}
+			n := float64(per)
+			fmt.Printf("%d,%.2f,%.2f,%.2f\n", h, s/n, gws/n, cards/n)
+		}
+		return
+	}
+
+	fmt.Printf("scheme:            %v\n", scheme)
+	fmt.Printf("trace:             %d flows, %d keepalives over %d clients / %d gateways\n",
+		len(tr.Flows), len(tr.Keepalives), *clients, *gateways)
+	fmt.Printf("energy:            %.1f kWh (no-sleep %.1f kWh)\n",
+		res.Energy.Total()/3.6e6, base.Energy.Total()/3.6e6)
+	fmt.Printf("savings:           %.1f%%\n", res.SavingsVs(base)*100)
+	fmt.Printf("ISP share:         %.0f%% of savings\n", res.Energy.ISPShareOfSavings(base.Energy)*100)
+	fmt.Printf("online gateways:   %.1f peak (15-17h), %.1f night (3-5h)\n",
+		sim.MeanOver(res.OnlineGWs, 15, 17), sim.MeanOver(res.OnlineGWs, 3, 5))
+	fmt.Printf("online line cards: %.2f peak hours (11-19h)\n", sim.MeanOver(res.OnlineCards, 11, 19))
+	fmt.Printf("gateway wakeups:   %d\n", res.Wakeups)
+	if res.Moves > 0 {
+		fmt.Printf("BH2 moves:         %d\n", res.Moves)
+	}
+	if res.Resolves > 0 {
+		fmt.Printf("ILP resolves:      %d (%d hit the node budget)\n", res.Resolves, res.OptGap)
+	}
+	os.Exit(0)
+}

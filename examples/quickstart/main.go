@@ -1,0 +1,52 @@
+// Quickstart: generate a day of access-network traffic, build a wireless
+// overlap topology, run Broadband Hitch-Hiking with k-switches against the
+// no-sleep baseline, and print the energy savings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insomnia/internal/sim"
+	"insomnia/internal/topology"
+	"insomnia/internal/trace"
+)
+
+func main() {
+	// 1. A UCSD-like trace: 272 clients on 40 access points, 6 Mbps lines.
+	tr, err := trace.Generate(trace.DefaultSimConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Who can hear whom: a random overlap topology with on average 5.6
+	// networks in range of every client.
+	graph, err := topology.OverlapGraph(tr.Cfg.APs, topology.DefaultMeanInRange, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := topology.FromOverlap(graph, tr.ClientAP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Simulate the no-sleep baseline and BH2 + k-switch.
+	base, err := sim.Run(sim.Config{Trace: tr, Topo: topo, Scheme: sim.NoSleep, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bh2run, err := sim.Run(sim.Config{Trace: tr, Topo: topo, Scheme: sim.BH2KSwitch, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Printf("no-sleep energy:   %.1f kWh/day\n", base.Energy.Total()/3.6e6)
+	fmt.Printf("BH2+k-switch:      %.1f kWh/day\n", bh2run.Energy.Total()/3.6e6)
+	fmt.Printf("savings:           %.1f%%\n", bh2run.SavingsVs(base)*100)
+	fmt.Printf("gateways at 15-17h: %.1f of %d online\n",
+		sim.MeanOver(bh2run.OnlineGWs, 15, 17), tr.Cfg.APs)
+	fmt.Printf("hitch-hiking moves: %d, gateway wakeups: %d\n", bh2run.Moves, bh2run.Wakeups)
+}

@@ -1,0 +1,41 @@
+// Switchsizing: use Eq (2) (Fig 5) to pick how big the HDF k-switches must
+// be: for each switch size k, the probability that the l-th line card of a
+// group can sleep, given per-line activity p — plus the expected number of
+// sleeping cards and a comparison against plain SoI's (1-p)^m.
+//
+//	go run ./examples/switchsizing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insomnia/internal/analytic"
+)
+
+func main() {
+	const m = 24 // modems per line card
+	for _, p := range []float64{0.5, 0.25} {
+		fmt.Printf("modem online probability p = %.2f, %d modems/card\n", p, m)
+		fmt.Printf("  plain SoI card-sleep probability (1-p)^m = %.2g\n",
+			analytic.CardSleepNoSwitch(m, p))
+		for _, k := range []int{2, 4, 8} {
+			fmt.Printf("  %d-switch: card-sleep probabilities ", k)
+			for l := 1; l <= k; l++ {
+				v, err := analytic.CardSleepProbability(l, k, m, p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("l=%d:%.3f ", l, v)
+			}
+			exp, err := analytic.ExpectedSleepingCards(k, m, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("=> %.2f of %d cards sleep on average\n", exp, k)
+		}
+		fmt.Println()
+	}
+	fmt.Println("conclusion (paper §4.2): even 4- and 8-switches put a good number of")
+	fmt.Println("cards to sleep; plain SoI effectively never sleeps a card.")
+}

@@ -1,0 +1,161 @@
+// Package analytic collects the paper's closed-form models: the line-card
+// sleep probability under k-switches (Eq 2, Fig 5), the plain-SoI sleep
+// probability (1-p)^m of §4.1, the SoI savings bound implied by the
+// inter-packet-gap distribution (§2.4), and the world-wide savings
+// extrapolation (§5.4).
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"insomnia/internal/power"
+	"insomnia/internal/stats"
+)
+
+// CardSleepNoSwitch returns the probability that a line card with m modems
+// can sleep when each modem is independently inactive with probability
+// 1-p: (1-p)^m (§4.1). It decays exponentially in m, which is the paper's
+// argument for why SoI alone never powers off cards.
+func CardSleepNoSwitch(m int, p float64) float64 {
+	return math.Pow(1-p, float64(m))
+}
+
+// CardSleepProbability is Eq (2): the probability that the l-th card
+// (1-based) of a group of k cards wired through m k-switches can sleep,
+// when each line is independently active with probability p:
+//
+//	P = ( P{at least l of the k lines of a switch are inactive} )^m
+//	  = ( 1 - Σ_{i=0}^{l-1} C(k,i) (1-p)^i p^(k-i) )^m
+//
+// (The paper's display omits the binomial coefficient; the text's Fig 5
+// curves require it, so we include it.)
+func CardSleepProbability(l, k, m int, p float64) (float64, error) {
+	if l < 1 || l > k {
+		return 0, fmt.Errorf("analytic: card index l=%d outside 1..%d", l, k)
+	}
+	if k < 1 || m < 1 {
+		return 0, fmt.Errorf("analytic: invalid k=%d m=%d", k, m)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("analytic: probability p=%v outside [0,1]", p)
+	}
+	var cdf float64 // P{fewer than l inactive} = Σ_{i<l} C(k,i)(1-p)^i p^(k-i)
+	for i := 0; i < l; i++ {
+		cdf += binom(k, i) * math.Pow(1-p, float64(i)) * math.Pow(p, float64(k-i))
+	}
+	perSwitch := 1 - cdf
+	if perSwitch < 0 {
+		perSwitch = 0
+	}
+	return math.Pow(perSwitch, float64(m)), nil
+}
+
+// ExpectedSleepingCards sums Eq (2) over the cards of one k-group.
+func ExpectedSleepingCards(k, m int, p float64) (float64, error) {
+	var s float64
+	for l := 1; l <= k; l++ {
+		v, err := CardSleepProbability(l, k, m, p)
+		if err != nil {
+			return 0, err
+		}
+		s += v
+	}
+	return s, nil
+}
+
+// FullSwitchSleepingCards is the §4.1 upper bound with unrestricted
+// switching: ⌊n(1-p)/m⌋ cards of an n-port DSLAM with m ports per card can
+// sleep in expectation terms.
+func FullSwitchSleepingCards(n, m int, p float64) int {
+	return int(math.Floor(float64(n) * (1 - p) / float64(m)))
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// SoISavingsBound computes the maximum fraction of time a gateway can sleep
+// under plain SoI with the given idle timeout, from a duration-weighted
+// inter-packet-gap histogram (trace.GapHistogram): only gaps longer than
+// the timeout yield sleep, and each pays the timeout before sleeping.
+// idleShare is the fraction of wall-clock time that is idle at all. The
+// histogram's exact per-bin means are used, so open-ended bins are handled
+// correctly.
+//
+// With the paper's Fig 4 numbers (>80% of idle time in sub-60 s gaps) this
+// bound lands near 20% at the peak hour — the §2.4 conclusion.
+func SoISavingsBound(h *stats.VarHistogram, edges []float64, timeout, idleShare float64) float64 {
+	if h.Total() == 0 {
+		return 0
+	}
+	var sleepable float64
+	for i := 0; i < h.Bins(); i++ {
+		if edges[i+1] <= timeout {
+			continue
+		}
+		mean := h.MeanAt(i)
+		if mean <= timeout {
+			continue
+		}
+		// Each gap of mean length g sleeps (g - timeout).
+		sleepable += h.Count(i) * (mean - timeout) / mean
+	}
+	return idleShare * sleepable / h.Total()
+}
+
+// Extrapolation reproduces §5.4's world-wide estimate: applying the
+// measured average savings fraction to every DSL subscriber's share of
+// access-network power.
+type Extrapolation struct {
+	Subscribers   float64 // DSL subscribers world-wide (320e6 in 2010)
+	UserSideWatts float64 // gateway + AP + router per subscriber
+	ISPSideWatts  float64 // DSLAM share per subscriber
+	SavingsFrac   float64 // measured average savings (0.66)
+}
+
+// DefaultExtrapolation matches the paper's inputs: 320 M subscribers, the
+// measured 9 W gateway plus 5 W wireless router on the user side, the
+// per-subscriber DSLAM share (98 W card / 48 ports + 1 W port modem + shelf
+// overhead) on the ISP side, and the 66% measured saving.
+func DefaultExtrapolation() Extrapolation {
+	perSubISP := power.LineCardWatts/48 + power.ISPModemWatts + power.ShelfWatts/1000
+	return Extrapolation{
+		Subscribers:   320e6,
+		UserSideWatts: power.GatewayWatts + power.RouterWatts,
+		ISPSideWatts:  perSubISP,
+		SavingsFrac:   0.66,
+	}
+}
+
+// AnnualSavingsTWh returns the yearly energy saving in terawatt-hours.
+func (e Extrapolation) AnnualSavingsTWh() float64 {
+	watts := (e.UserSideWatts + e.ISPSideWatts) * e.Subscribers * e.SavingsFrac
+	const hoursPerYear = 8766 // 365.25 days
+	return watts * hoursPerYear / 1e12
+}
+
+// EnergyProportionalSavings returns the savings that ideal energy
+// proportionality would deliver over today's constant-draw devices: with
+// P(u) = floor + (1-floor)·u·Pmax and mean utilization u, the saving vs
+// always-Pmax is (1-floor)(1-u). The paper's §2.2 invokes Barroso &
+// Hölzle's energy proportionality as the long-term alternative to
+// sleeping; at access-network utilizations (u ≈ 0.02-0.08) this lands at
+// the same ~80-90% margin that the Optimal sleeping scheme measures —
+// sleeping recovers nearly all of what proportional hardware would.
+func EnergyProportionalSavings(meanUtil, idleFloorFrac float64) (float64, error) {
+	if meanUtil < 0 || meanUtil > 1 || idleFloorFrac < 0 || idleFloorFrac > 1 {
+		return 0, fmt.Errorf("analytic: utilization %v / floor %v outside [0,1]", meanUtil, idleFloorFrac)
+	}
+	return (1 - idleFloorFrac) * (1 - meanUtil), nil
+}

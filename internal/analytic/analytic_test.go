@@ -1,0 +1,231 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"insomnia/internal/stats"
+)
+
+func TestCardSleepNoSwitch(t *testing.T) {
+	// §4.1: a 48-port card at 5% utilization sleeps with probability
+	// 0.95^48 ≈ 8.5%.
+	got := CardSleepNoSwitch(48, 0.05)
+	if math.Abs(got-math.Pow(0.95, 48)) > 1e-12 {
+		t.Errorf("got %v", got)
+	}
+	if got < 0.07 || got > 0.10 {
+		t.Errorf("48-port card at p=0.05 sleeps with prob %v, paper says ~8%%", got)
+	}
+	if CardSleepNoSwitch(10, 0) != 1 {
+		t.Error("p=0 should always sleep")
+	}
+	if CardSleepNoSwitch(10, 1) != 0 {
+		t.Error("p=1 should never sleep")
+	}
+}
+
+func TestCardSleepProbabilityValidation(t *testing.T) {
+	if _, err := CardSleepProbability(0, 4, 24, 0.5); err == nil {
+		t.Error("l=0 accepted")
+	}
+	if _, err := CardSleepProbability(5, 4, 24, 0.5); err == nil {
+		t.Error("l>k accepted")
+	}
+	if _, err := CardSleepProbability(1, 4, 0, 0.5); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := CardSleepProbability(1, 4, 24, 1.5); err == nil {
+		t.Error("p>1 accepted")
+	}
+}
+
+func TestCardSleepProbabilityEdgeCases(t *testing.T) {
+	// l=1, k=1: P{line inactive}^m.
+	got, err := CardSleepProbability(1, 1, 3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.6, 3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// p=0: every card sleeps with probability 1.
+	got, err = CardSleepProbability(4, 4, 24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("p=0: got %v", got)
+	}
+	// p=1: nothing sleeps.
+	got, err = CardSleepProbability(1, 4, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("p=1: got %v", got)
+	}
+}
+
+// Fig 5 middle panel (m=24, p=0.5): the first card of an 8-switch group
+// sleeps almost surely; deeper cards decay sharply. Check the qualitative
+// anchors the figure shows.
+func TestFig5Anchors(t *testing.T) {
+	p := 0.5
+	m := 24
+	// k=8: card 1 sleeps with very high probability.
+	c1, err := CardSleepProbability(1, 8, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 < 0.85 {
+		t.Errorf("k=8 card1 = %v, Fig 5 shows ~0.9+", c1)
+	}
+	// k=2: card 1 sleeps with probability (1-p^2)^m = 0.75^24 ≈ 0.001.
+	c2, err := CardSleepProbability(1, 2, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.75, 24)
+	if math.Abs(c2-want) > 1e-12 {
+		t.Errorf("k=2 card1 = %v, want %v", c2, want)
+	}
+	// Monotone: bigger switches sleep more cards.
+	e2, _ := ExpectedSleepingCards(2, m, p)
+	e4, _ := ExpectedSleepingCards(4, m, p)
+	e8, _ := ExpectedSleepingCards(8, m, p)
+	if !(e8 > e4 && e4 > e2) {
+		t.Errorf("expected sleeping cards not monotone in k: %v %v %v", e2, e4, e8)
+	}
+	// Lower activity sleeps more.
+	e8lo, _ := ExpectedSleepingCards(8, m, 0.25)
+	if e8lo <= e8 {
+		t.Errorf("p=0.25 (%v) should beat p=0.5 (%v)", e8lo, e8)
+	}
+}
+
+// Property: Eq 2 is decreasing in l (deeper cards sleep less), decreasing
+// in p, and always in [0,1].
+func TestEq2MonotoneProperty(t *testing.T) {
+	f := func(kRaw, lRaw, mRaw uint8, pRaw uint16) bool {
+		k := 2 + int(kRaw%7)
+		l := 1 + int(lRaw)%k
+		m := 1 + int(mRaw%40)
+		p := float64(pRaw) / 65535
+		v, err := CardSleepProbability(l, k, m, p)
+		if err != nil || v < 0 || v > 1 {
+			return false
+		}
+		if l > 1 {
+			prev, _ := CardSleepProbability(l-1, k, m, p)
+			if v > prev+1e-12 {
+				return false
+			}
+		}
+		v2, _ := CardSleepProbability(l, k, m, math.Min(1, p+0.1))
+		return v2 <= v+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullSwitchSleepingCards(t *testing.T) {
+	// 48 ports, 12/card, half the lines off: 2 of 4 cards sleep.
+	if got := FullSwitchSleepingCards(48, 12, 0.5); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+	if got := FullSwitchSleepingCards(48, 12, 1); got != 0 {
+		t.Errorf("p=1: got %d", got)
+	}
+	if got := FullSwitchSleepingCards(48, 12, 0); got != 4 {
+		t.Errorf("p=0: got %d", got)
+	}
+}
+
+func TestSoISavingsBound(t *testing.T) {
+	// A histogram where 80% of idle time sits in 30 s gaps and 20% in
+	// ~120 s gaps, with 95% of wall-clock idle: the bound must land near
+	// the paper's ~20%-or-less SoI ceiling at peak.
+	edges := []float64{0, 60, math.Inf(1)}
+	h := stats.NewVarHistogram(edges)
+	h.AddWeighted(30, 80)
+	h.AddWeighted(120, 20)
+	got := SoISavingsBound(h, edges, 60, 0.95)
+	// Only the >60 bin contributes: mean 2*60=120, sleepable (120-60)/120 = 0.5
+	// of its weight: 0.2*0.5*0.95 = 0.095.
+	if math.Abs(got-0.095) > 1e-9 {
+		t.Errorf("bound = %v, want 0.095", got)
+	}
+	// All idle time in giant gaps: bound approaches idleShare.
+	h2 := stats.NewVarHistogram(edges)
+	h2.AddWeighted(100000, 100)
+	if got := SoISavingsBound(h2, edges, 60, 1.0); got < 0.9 {
+		t.Errorf("giant-gap bound = %v, want ~1", got)
+	}
+	// Empty histogram.
+	h3 := stats.NewVarHistogram(edges)
+	if got := SoISavingsBound(h3, edges, 60, 1.0); got != 0 {
+		t.Errorf("empty bound = %v", got)
+	}
+}
+
+func TestExtrapolationMatchesPaper(t *testing.T) {
+	e := DefaultExtrapolation()
+	got := e.AnnualSavingsTWh()
+	// §5.4: "the savings collectively amount to about 33 TWh per year".
+	if got < 25 || got > 40 {
+		t.Errorf("extrapolated savings = %v TWh, paper says ~33", got)
+	}
+}
+
+func TestExtrapolationScalesLinearly(t *testing.T) {
+	e := DefaultExtrapolation()
+	base := e.AnnualSavingsTWh()
+	e.Subscribers *= 2
+	if math.Abs(e.AnnualSavingsTWh()-2*base) > 1e-9 {
+		t.Error("not linear in subscribers")
+	}
+}
+
+func TestEnergyProportionalSavings(t *testing.T) {
+	// At 8% utilization with a 10% idle floor: 0.9*0.92 = 82.8% — the same
+	// ballpark as the paper's 80% sleeping margin.
+	got, err := EnergyProportionalSavings(0.08, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.828) > 1e-12 {
+		t.Errorf("got %v, want 0.828", got)
+	}
+	if _, err := EnergyProportionalSavings(-0.1, 0); err == nil {
+		t.Error("negative utilization accepted")
+	}
+	if _, err := EnergyProportionalSavings(0.5, 1.5); err == nil {
+		t.Error("floor > 1 accepted")
+	}
+	// Fully utilized or all-floor hardware saves nothing.
+	if v, _ := EnergyProportionalSavings(1, 0); v != 0 {
+		t.Errorf("u=1: %v", v)
+	}
+	if v, _ := EnergyProportionalSavings(0, 1); v != 0 {
+		t.Errorf("floor=1: %v", v)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{4, 0, 1}, {4, 1, 4}, {4, 2, 6}, {4, 4, 1}, {4, 5, 0}, {4, -1, 0},
+		{24, 12, 2704156},
+	}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); math.Abs(got-c.want) > 1e-6*c.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}

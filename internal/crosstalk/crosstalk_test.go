@@ -1,0 +1,340 @@
+package crosstalk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allActive(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestBundleGeometry(t *testing.T) {
+	b := NewBundle25()
+	if b.Pairs() != 24 {
+		t.Fatalf("Pairs = %d, want 24", b.Pairs())
+	}
+	// Symmetry and zero self-coupling.
+	for i := 0; i < 24; i++ {
+		if b.Weight(i, i) != 0 {
+			t.Errorf("self coupling at %d", i)
+		}
+		for j := 0; j < 24; j++ {
+			if math.Abs(b.Weight(i, j)-b.Weight(j, i)) > 1e-12 {
+				t.Errorf("asymmetric coupling %d-%d", i, j)
+			}
+		}
+	}
+	// Adjacent inner-ring pairs couple harder than opposite outer pairs.
+	if b.Weight(0, 1) <= b.Weight(8, 16) {
+		t.Errorf("adjacency not reflected: %v vs %v", b.Weight(0, 1), b.Weight(8, 16))
+	}
+	// Normalization: average total weight seen by a line is ~23.
+	var total float64
+	for i := 0; i < 24; i++ {
+		for j := 0; j < 24; j++ {
+			total += b.Weight(i, j)
+		}
+	}
+	if math.Abs(total/24-23) > 1e-9 {
+		t.Errorf("mean total weight = %v, want 23", total/24)
+	}
+}
+
+func TestAttenuationMonotone(t *testing.T) {
+	prev := 0.0
+	for f := 1e5; f < 17e6; f *= 1.3 {
+		a := attenDBPerKm(f)
+		if a <= prev {
+			t.Fatalf("attenuation not increasing at %v Hz", f)
+		}
+		prev = a
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	b := NewBundle25()
+	if _, err := NewSystem(DefaultPHY(), b, nil); err == nil {
+		t.Error("expected error for no lines")
+	}
+	if _, err := NewSystem(DefaultPHY(), b, make([]float64, 25)); err == nil {
+		t.Error("expected error for too many lines")
+	}
+	if _, err := NewSystem(DefaultPHY(), b, []float64{100, -5}); err == nil {
+		t.Error("expected error for negative length")
+	}
+}
+
+func TestSyncRateBasics(t *testing.T) {
+	lengths := make([]float64, 24)
+	for i := range lengths {
+		lengths[i] = 600
+	}
+	sys, err := NewSystem(DefaultPHY(), NewBundle25(), lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := allActive(24)
+	r0 := sys.SyncRate(0, active, Profile62)
+	if r0 < 25e6 || r0 > 55e6 {
+		t.Errorf("600m all-active rate = %v Mbps, want 30-55 (paper ~43.7)", r0/1e6)
+	}
+	// Inactive line reports zero.
+	active[0] = false
+	if got := sys.SyncRate(0, active, Profile62); got != 0 {
+		t.Errorf("inactive line rate = %v", got)
+	}
+	// Survivors speed up when a line goes off.
+	r1 := sys.SyncRate(1, active, Profile62)
+	active[0] = true
+	r1base := sys.SyncRate(1, active, Profile62)
+	if r1 <= r1base {
+		t.Errorf("no crosstalk bonus: %v <= %v", r1, r1base)
+	}
+}
+
+func TestShorterLinesFaster(t *testing.T) {
+	lengths := []float64{100, 600}
+	sys, err := NewSystem(DefaultPHY(), NewBundle25(), lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := allActive(2)
+	// Uncapped comparison: use a huge plan.
+	big := ServiceProfile{Name: "uncapped", PlanBps: 1e9}
+	if r0, r1 := sys.SyncRate(0, a, big), sys.SyncRate(1, a, big); r0 <= r1 {
+		t.Errorf("100m (%v) not faster than 600m (%v)", r0, r1)
+	}
+}
+
+func TestPlanCapBinds(t *testing.T) {
+	lengths := []float64{50}
+	sys, err := NewSystem(DefaultPHY(), NewBundle25(), lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []bool{true}
+	if got := sys.SyncRate(0, a, Profile62); got != Profile62.PlanBps {
+		t.Errorf("lone 50m line = %v, want capped at %v", got, Profile62.PlanBps)
+	}
+}
+
+// Property: adding an active disturber never increases anyone's rate.
+func TestMonotoneInDisturbersProperty(t *testing.T) {
+	lengths := TelcoLengths(12, 5)
+	sys, err := NewSystem(DefaultPHY(), NewBundle25(), lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := ServiceProfile{Name: "uncapped", PlanBps: 1e9}
+	f := func(mask uint16, extra uint8) bool {
+		active := make([]bool, 12)
+		for i := range active {
+			active[i] = mask&(1<<i) != 0
+		}
+		victim := int(extra) % 12
+		active[victim] = true
+		r1 := sys.SyncRate(victim, active, big)
+		// Activate one more line.
+		added := -1
+		for i := range active {
+			if !active[i] {
+				active[i] = true
+				added = i
+				break
+			}
+		}
+		if added < 0 {
+			return true
+		}
+		r2 := sys.SyncRate(victim, active, big)
+		return r2 <= r1+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTelcoLengthsBounds(t *testing.T) {
+	ls := TelcoLengths(1000, 3)
+	for _, l := range ls {
+		if l < 50 || l > 600 {
+			t.Fatalf("length %v outside [50,600]", l)
+		}
+	}
+	// Long-biased: median above 300 m.
+	var over int
+	for _, l := range ls {
+		if l > 300 {
+			over++
+		}
+	}
+	if over < 600 {
+		t.Errorf("only %d/1000 lengths above 300m; distribution should be long-biased", over)
+	}
+}
+
+func TestFig14Steps(t *testing.T) {
+	s := Fig14Steps()
+	want := []int{0, 2, 4, 6, 8, 10, 12, 16, 20}
+	if len(s) != len(want) {
+		t.Fatalf("steps = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("steps = %v, want %v", s, want)
+		}
+	}
+}
+
+// The headline reproduction assertions for Fig 14 at the 62 Mbps profile,
+// 600 m loops: ≈1.1-1.2% per inactive modem, ≈13.6% at half off, ≈25% when
+// ~75% are off.
+func TestFig14Profile62Fixed600(t *testing.T) {
+	cfg := ExperimentConfig{FixedLength: 600, Profile: Profile62, Seed: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byInactive := map[int]float64{}
+	for _, r := range res {
+		byInactive[r.Inactive] = r.MeanPct
+	}
+	if v := byInactive[0]; v != 0 {
+		t.Errorf("baseline step speedup = %v, want 0", v)
+	}
+	perLine := byInactive[2] / 2
+	if perLine < 0.6 || perLine > 2.0 {
+		t.Errorf("per-line speedup = %.2f%%, want ~1.1-1.2%%", perLine)
+	}
+	if v := byInactive[12]; v < 9 || v > 20 {
+		t.Errorf("half-off speedup = %.1f%%, want ~13.6%%", v)
+	}
+	// ~75% off lies between steps 16 and 20.
+	approx75 := (byInactive[16] + byInactive[20]) / 2
+	if approx75 < 18 || approx75 > 38 {
+		t.Errorf("75%%-off speedup = %.1f%%, want ~25%%", approx75)
+	}
+	// Monotone increase with inactive count.
+	prev := -1.0
+	for _, r := range res {
+		if r.MeanPct < prev-0.5 {
+			t.Errorf("speedup not increasing at %d inactive: %v after %v", r.Inactive, r.MeanPct, prev)
+		}
+		prev = r.MeanPct
+	}
+	base, err := BaselineMeanBps(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base < 30e6 || base > 55e6 {
+		t.Errorf("62M/600m baseline = %.1f Mbps, want ~43.7", base/1e6)
+	}
+}
+
+// The 30 Mbps plan must baseline *below* its cap (paper: 27.8-29.7 Mbps)
+// and its speedup must flatten as lines hit the cap.
+func TestFig14Profile30CapClipped(t *testing.T) {
+	cfg := ExperimentConfig{FixedLength: 600, Profile: Profile30, Seed: 1}
+	base, err := BaselineMeanBps(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base >= Profile30.PlanBps {
+		t.Fatalf("30M baseline %v not below cap", base)
+	}
+	if base < 22e6 {
+		t.Errorf("30M baseline = %.1f Mbps, want ~26-30", base/1e6)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, mid := res[len(res)-1].MeanPct, res[4].MeanPct
+	// Cap clipping: the 30M curve must end well below the 62M curve.
+	cfg62 := ExperimentConfig{FixedLength: 600, Profile: Profile62, Seed: 1}
+	res62, err := Run(cfg62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= res62[len(res62)-1].MeanPct {
+		t.Errorf("30M final speedup %.1f%% not below 62M %.1f%%", last, res62[len(res62)-1].MeanPct)
+	}
+	if mid <= 0 {
+		t.Errorf("30M mid speedup %.1f%% should be positive", mid)
+	}
+}
+
+func TestRunRequiresProfile(t *testing.T) {
+	if _, err := Run(ExperimentConfig{}); err == nil {
+		t.Error("expected error for missing profile")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := ExperimentConfig{Profile: Profile62, Seed: 4, LengthSeed: 9}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMixedLengthsLowerSpeedupThanFixed(t *testing.T) {
+	// Short lines hit the plan cap and stop benefiting, so the mixed-length
+	// experiment shows smaller average speedups than fixed 600 m (visible
+	// in Fig 14's curve ordering).
+	fixed, err := Run(ExperimentConfig{FixedLength: 600, Profile: Profile62, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := Run(ExperimentConfig{Profile: Profile62, Seed: 2, LengthSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed[len(mixed)-1].MeanPct >= fixed[len(fixed)-1].MeanPct {
+		t.Errorf("mixed %.1f%% >= fixed %.1f%% at 20 inactive", mixed[len(mixed)-1].MeanPct, fixed[len(fixed)-1].MeanPct)
+	}
+}
+
+func TestSyncRatePanicsOnBadMask(t *testing.T) {
+	sys, err := NewSystem(DefaultPHY(), NewBundle25(), []float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong mask size")
+		}
+	}()
+	sys.SyncRate(0, []bool{true}, Profile62)
+}
+
+func TestProfile30UsesNarrowBand(t *testing.T) {
+	sys62, err := NewSystem(DefaultPHY(), NewBundle25(), []float64{300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phy30 := DefaultPHY()
+	phy30.Bands = Profile30.Bands
+	sys30, err := NewSystem(phy30, NewBundle25(), []float64{300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys30.Tones() >= sys62.Tones() {
+		t.Errorf("30M band plan should have fewer tones: %d vs %d", sys30.Tones(), sys62.Tones())
+	}
+}

@@ -1,0 +1,167 @@
+package crosstalk
+
+import (
+	"fmt"
+	"math"
+
+	"insomnia/internal/stats"
+)
+
+// ExperimentConfig describes one §6.2 measurement campaign.
+type ExperimentConfig struct {
+	Lines       int            // number of modems (24 in the paper)
+	FixedLength float64        // >0: all loops this long (the 600 m setup)
+	LengthSeed  int64          // seed for the telco length distribution setup
+	Profile     ServiceProfile // 30 or 62 Mbps plan
+	Sequences   int            // random activation orders (5 in the paper)
+	Repetitions int            // measurements per step (2 in the paper)
+	Seed        int64
+	PHY         PHYConfig // zero value takes DefaultPHY
+}
+
+// StepResult is one point of Fig 14: the average per-line relative speedup
+// (w.r.t. the all-active baseline) when Inactive lines are off.
+type StepResult struct {
+	Inactive int
+	MeanPct  float64 // average speedup in percent
+	StdPct   float64 // across sequences/repetitions
+}
+
+// TelcoLengths draws n loop lengths between 50 and 600 m following a
+// long-biased distribution standing in for the real telco length
+// distribution the paper used (which is not published): a lognormal with
+// median ≈300 m clipped to [50,600].
+func TelcoLengths(n int, seed int64) []float64 {
+	r := stats.NewRNG(seed, 0x7e1c)
+	out := make([]float64, n)
+	for i := range out {
+		l := stats.Lognormal(r, math.Log(460), 0.35)
+		if l < 50 {
+			l = 50
+		}
+		if l > 600 {
+			l = 600
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// Fig14Steps returns the paper's deactivation schedule as the number of
+// inactive lines at each measured step: lines deactivate 4 at a time up to
+// 12, then 2 at a time up to 20 inactive (§6.2 activates in the reverse
+// direction; the figure's x-axis is inactive lines 0..20).
+func Fig14Steps() []int { return []int{0, 2, 4, 6, 8, 10, 12, 16, 20} }
+
+// Run executes the experiment: for each random order and repetition,
+// deactivate lines step by step and record the average relative rate gain
+// of the remaining active lines.
+func Run(cfg ExperimentConfig) ([]StepResult, error) {
+	if cfg.Lines <= 0 {
+		cfg.Lines = 24
+	}
+	if cfg.Sequences <= 0 {
+		cfg.Sequences = 5
+	}
+	if cfg.Repetitions <= 0 {
+		cfg.Repetitions = 2
+	}
+	if cfg.PHY.Bands == nil {
+		cfg.PHY = DefaultPHY()
+	}
+	if cfg.Profile.PlanBps == 0 {
+		return nil, fmt.Errorf("crosstalk: missing service profile")
+	}
+	if cfg.Profile.Bands != nil {
+		cfg.PHY.Bands = cfg.Profile.Bands
+	}
+	var lengths []float64
+	if cfg.FixedLength > 0 {
+		lengths = make([]float64, cfg.Lines)
+		for i := range lengths {
+			lengths[i] = cfg.FixedLength
+		}
+	} else {
+		lengths = TelcoLengths(cfg.Lines, cfg.LengthSeed)
+	}
+	sys, err := NewSystem(cfg.PHY, NewBundle25(), lengths)
+	if err != nil {
+		return nil, err
+	}
+
+	steps := Fig14Steps()
+	agg := make([]stats.Welford, len(steps))
+
+	baselineActive := make([]bool, cfg.Lines)
+	for i := range baselineActive {
+		baselineActive[i] = true
+	}
+	baseline := sys.AllRates(baselineActive, cfg.Profile)
+
+	for seq := 0; seq < cfg.Sequences; seq++ {
+		r := stats.NewRNG(cfg.Seed, 0xf160+uint64(seq))
+		order := r.Perm(cfg.Lines) // deactivation order
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			for si, inactive := range steps {
+				active := make([]bool, cfg.Lines)
+				for i := range active {
+					active[i] = true
+				}
+				for k := 0; k < inactive; k++ {
+					active[order[k]] = false
+				}
+				var sum float64
+				var n int
+				for i := range active {
+					if !active[i] || baseline[i] == 0 {
+						continue
+					}
+					rate := sys.SyncRate(i, active, cfg.Profile)
+					sum += (rate - baseline[i]) / baseline[i] * 100
+					n++
+				}
+				if n > 0 {
+					agg[si].Add(sum / float64(n))
+				}
+			}
+		}
+	}
+
+	out := make([]StepResult, len(steps))
+	for i, inactive := range steps {
+		out[i] = StepResult{Inactive: inactive, MeanPct: agg[i].Mean(), StdPct: agg[i].Std()}
+	}
+	return out, nil
+}
+
+// BaselineMeanBps returns the all-active average sync rate for the given
+// setup — the "baselines" quoted in the Fig 14 caption.
+func BaselineMeanBps(cfg ExperimentConfig) (float64, error) {
+	if cfg.Lines <= 0 {
+		cfg.Lines = 24
+	}
+	if cfg.PHY.Bands == nil {
+		cfg.PHY = DefaultPHY()
+	}
+	if cfg.Profile.Bands != nil {
+		cfg.PHY.Bands = cfg.Profile.Bands
+	}
+	var lengths []float64
+	if cfg.FixedLength > 0 {
+		lengths = make([]float64, cfg.Lines)
+		for i := range lengths {
+			lengths[i] = cfg.FixedLength
+		}
+	} else {
+		lengths = TelcoLengths(cfg.Lines, cfg.LengthSeed)
+	}
+	sys, err := NewSystem(cfg.PHY, NewBundle25(), lengths)
+	if err != nil {
+		return 0, err
+	}
+	active := make([]bool, cfg.Lines)
+	for i := range active {
+		active[i] = true
+	}
+	return stats.Mean(sys.AllRates(active, cfg.Profile)), nil
+}

@@ -1,0 +1,155 @@
+package dsl
+
+import (
+	"math"
+	"testing"
+
+	"insomnia/internal/stats"
+)
+
+func TestDSLAMShape(t *testing.T) {
+	d := EvalDSLAM
+	if d.Ports() != 48 {
+		t.Errorf("Ports = %d, want 48", d.Ports())
+	}
+	if d.CardOf(0) != 0 || d.CardOf(11) != 0 || d.CardOf(12) != 1 || d.CardOf(47) != 3 {
+		t.Error("CardOf mapping wrong")
+	}
+	if d.SlotOf(0) != 0 || d.SlotOf(13) != 1 || d.SlotOf(47) != 11 {
+		t.Error("SlotOf mapping wrong")
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (DSLAM{0, 5}).Validate(); err == nil {
+		t.Error("expected error for zero cards")
+	}
+}
+
+func TestRandomAssignment(t *testing.T) {
+	d := EvalDSLAM
+	p, err := RandomAssignment(d, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 40 {
+		t.Fatalf("got %d assignments", len(p))
+	}
+	seen := map[int]bool{}
+	for _, port := range p {
+		if port < 0 || port >= 48 {
+			t.Fatalf("port %d out of range", port)
+		}
+		if seen[port] {
+			t.Fatalf("port %d assigned twice", port)
+		}
+		seen[port] = true
+	}
+	// Deterministic.
+	p2, err := RandomAssignment(d, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if p[i] != p2[i] {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}
+
+func TestRandomAssignmentOverflow(t *testing.T) {
+	if _, err := RandomAssignment(EvalDSLAM, 49, 1); err == nil {
+		t.Error("expected error when lines exceed ports")
+	}
+}
+
+func TestRandomAssignmentSpreadsCards(t *testing.T) {
+	// With 40 of 48 ports used, all 4 cards should carry lines — the
+	// Appendix's point is that lines land everywhere.
+	p, err := RandomAssignment(EvalDSLAM, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cards := map[int]int{}
+	for _, port := range p {
+		cards[EvalDSLAM.CardOf(port)]++
+	}
+	if len(cards) != 4 {
+		t.Errorf("lines on %d cards, want 4", len(cards))
+	}
+}
+
+func TestAttenuationsMatchFig15(t *testing.T) {
+	d := DSLAM{Cards: 14, PortsPerCard: 72} // the production DSLAM of Fig 15
+	a, err := Attenuations(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 14 || len(a[0]) != 72 {
+		t.Fatalf("shape %dx%d", len(a), len(a[0]))
+	}
+	// Gaussian with sigma ~23 dB per card, all means close together.
+	if !CardMeansSimilar(a, 10) {
+		t.Error("card means differ too much")
+	}
+	var all stats.Welford
+	for _, card := range a {
+		for _, v := range card {
+			if v < 1 {
+				t.Fatalf("attenuation below floor: %v", v)
+			}
+			all.Add(v)
+		}
+	}
+	if s := all.Std(); s < 15 || s > 30 {
+		t.Errorf("overall sigma = %v dB, want ~23", s)
+	}
+}
+
+func TestCardMeansSimilarDetectsOutlier(t *testing.T) {
+	a := [][]float64{{50, 52, 48}, {90, 92, 88}}
+	if CardMeansSimilar(a, 5) {
+		t.Error("outlier card not detected")
+	}
+	if !CardMeansSimilar(a, 50) {
+		t.Error("wide tolerance should accept")
+	}
+}
+
+func TestLoopLengthConversion(t *testing.T) {
+	if got := LoopLengthMeters(1); math.Abs(got-70) > 1e-9 {
+		t.Errorf("1 dB = %v m, want 70", got)
+	}
+	// One mile ~ 23 dB.
+	if got := LoopLengthMeters(23); math.Abs(got-1610) > 5 {
+		t.Errorf("23 dB = %v m, want ~1609", got)
+	}
+}
+
+func TestWakeTimeDeterministicDefault(t *testing.T) {
+	if got := WakeTime(nil); got != WakeSeconds {
+		t.Errorf("WakeTime(nil) = %v, want %v", got, WakeSeconds)
+	}
+}
+
+func TestWakeTimeDistribution(t *testing.T) {
+	r := stats.NewRNG(9, 0)
+	var w stats.Welford
+	maxSeen := 0.0
+	for i := 0; i < 20000; i++ {
+		x := WakeTime(r)
+		if x < 20 || x > MaxResyncSeconds {
+			t.Fatalf("wake time %v out of [20,180]", x)
+		}
+		if x > maxSeen {
+			maxSeen = x
+		}
+		w.Add(x)
+	}
+	if w.Mean() < 45 || w.Mean() > 75 {
+		t.Errorf("mean wake = %v, want ~60", w.Mean())
+	}
+	if maxSeen < 100 {
+		t.Errorf("no long resyncs observed (max %v); tail missing", maxSeen)
+	}
+}

@@ -1,0 +1,111 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteSeriesCSV writes one or more series sharing an X axis as CSV:
+// x,<name1>,<name2>,... Series with differing X grids are written with
+// blank cells where they have no sample.
+func WriteSeriesCSV(w io.Writer, xLabel string, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{xLabel}
+	for _, s := range series {
+		header = append(header, s.Name)
+		if s.Err != nil {
+			header = append(header, s.Name+"-stddev")
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	// Union of X values, in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{fmtF(x)}
+		for _, s := range series {
+			i := indexOf(s.X, x)
+			if i < 0 {
+				row = append(row, "")
+				if s.Err != nil {
+					row = append(row, "")
+				}
+				continue
+			}
+			row = append(row, fmtF(s.Y[i]))
+			if s.Err != nil {
+				row = append(row, fmtF(s.Err[i]))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHistogramCSV writes labeled histogram bins.
+func WriteHistogramCSV(w io.Writer, labels []string, fracs []float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bin", "fraction"}); err != nil {
+		return err
+	}
+	for i, l := range labels {
+		if err := cw.Write([]string{l, fmtF(fracs[i])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderASCII draws a quick terminal chart of one series (for CLI output).
+func RenderASCII(s Series, width int) string {
+	if len(s.Y) == 0 {
+		return s.Name + ": (empty)\n"
+	}
+	maxY := s.Y[0]
+	for _, y := range s.Y {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max %.2f)\n", s.Name, maxY)
+	for i, y := range s.Y {
+		n := int(y / maxY * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%8.1f | %s %.2f\n", s.X[i], strings.Repeat("#", n), y)
+	}
+	return b.String()
+}
+
+func fmtF(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+
+func indexOf(xs []float64, x float64) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

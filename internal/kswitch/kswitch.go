@@ -1,0 +1,328 @@
+// Package kswitch implements §4's line switching at the Handover
+// Distribution Frame: small k×k relay switches that re-terminate customer
+// lines on different DSLAM ports so that active lines batch onto as few
+// line cards as possible, letting the remaining cards sleep.
+//
+// Physical arrangement (Fig 5 left): line cards are batched in groups of k;
+// the s-th k-switch connects to slot s of each of the k cards in the group,
+// so a line wired to switch s can terminate on (card 0, slot s) ...
+// (card k-1, slot s) — one of k ports, all at the same slot.
+//
+// Three policies are provided:
+//
+//   - Fixed: no switching; a line keeps its original port forever (the
+//     plain SoI scheme).
+//   - KSwitch: remaps a line only when its gateway wakes (the paper's rule
+//     to avoid disrupting active flows), packing active lines toward the
+//     highest-numbered card of each group.
+//   - FullSwitch: the idealized Optimal — any line to any port, repacked on
+//     demand with zero disruption.
+package kswitch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"insomnia/internal/dsl"
+)
+
+// Policy decides which DSLAM port terminates each line as lines wake and
+// sleep. Implementations must keep the mapping injective over active lines.
+type Policy interface {
+	// PortOf returns the port currently terminating the line.
+	PortOf(line int) int
+	// OnWake is called when the line's gateway starts carrying traffic
+	// again; the policy may remap the line (this is the only moment the
+	// paper allows k-switches to act).
+	OnWake(line int)
+	// OnSleep is called when the line's gateway goes to sleep.
+	OnSleep(line int)
+	// Repack optimizes the whole mapping; only FullSwitch implements a
+	// non-trivial version.
+	Repack()
+	// ActiveLines returns the current number of active lines.
+	ActiveLines() int
+	// CardsAwake returns, per card, whether any active line terminates on
+	// it (an awake card burns power.LineCardWatts).
+	CardsAwake() []bool
+}
+
+// AwakeCount counts true entries — the number of line cards burning power.
+func AwakeCount(cards []bool) int {
+	n := 0
+	for _, c := range cards {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// base holds the shared bookkeeping of all policies.
+type base struct {
+	d      dsl.DSLAM
+	portOf []int // line -> port
+	lineAt []int // port -> line, -1 when unwired
+	active []bool
+}
+
+func newBase(d dsl.DSLAM, initialPort []int) (*base, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	b := &base{
+		d:      d,
+		portOf: append([]int(nil), initialPort...),
+		lineAt: make([]int, d.Ports()),
+		active: make([]bool, len(initialPort)),
+	}
+	for p := range b.lineAt {
+		b.lineAt[p] = -1
+	}
+	for line, p := range b.portOf {
+		if p < 0 || p >= d.Ports() {
+			return nil, fmt.Errorf("kswitch: line %d on invalid port %d", line, p)
+		}
+		if b.lineAt[p] != -1 {
+			return nil, fmt.Errorf("kswitch: port %d terminates two lines", p)
+		}
+		b.lineAt[p] = line
+	}
+	return b, nil
+}
+
+func (b *base) PortOf(line int) int { return b.portOf[line] }
+
+func (b *base) ActiveLines() int {
+	n := 0
+	for _, a := range b.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *base) CardsAwake() []bool {
+	out := make([]bool, b.d.Cards)
+	for line, p := range b.portOf {
+		if b.active[line] {
+			out[b.d.CardOf(p)] = true
+		}
+	}
+	return out
+}
+
+// move re-terminates line onto port dst, swapping with whatever line is
+// wired there (the displaced line must be inactive; k-switches are relays —
+// swapping two idle positions disturbs nobody).
+func (b *base) move(line, dst int) {
+	src := b.portOf[line]
+	if src == dst {
+		return
+	}
+	other := b.lineAt[dst]
+	if other != -1 {
+		if b.active[other] {
+			panic(fmt.Sprintf("kswitch: displacing active line %d", other))
+		}
+		b.portOf[other] = src
+	}
+	b.lineAt[src] = other
+	b.portOf[line] = dst
+	b.lineAt[dst] = line
+}
+
+// Fixed is the no-switching policy.
+type Fixed struct{ *base }
+
+// NewFixed wires each line to its initial port permanently.
+func NewFixed(d dsl.DSLAM, initialPort []int) (*Fixed, error) {
+	b, err := newBase(d, initialPort)
+	if err != nil {
+		return nil, err
+	}
+	return &Fixed{b}, nil
+}
+
+// OnWake marks the line active; no remapping.
+func (f *Fixed) OnWake(line int) { f.active[line] = true }
+
+// OnSleep marks the line inactive.
+func (f *Fixed) OnSleep(line int) { f.active[line] = false }
+
+// Repack is a no-op.
+func (f *Fixed) Repack() {}
+
+// KSwitch implements the paper's k-switch policy. The switch group of a
+// line is determined by its slot: all ports at slot s across the k cards of
+// a group belong to switch s.
+type KSwitch struct {
+	*base
+	groupCards int // k: cards per group
+}
+
+// NewKSwitch builds the policy: the DSLAM's cards are batched in groups of
+// k (d.Cards must be divisible by k); there is one k-switch per (group,
+// slot) pair.
+func NewKSwitch(d dsl.DSLAM, k int, initialPort []int) (*KSwitch, error) {
+	if k < 2 || d.Cards%k != 0 {
+		return nil, fmt.Errorf("kswitch: %d cards not divisible into groups of %d", d.Cards, k)
+	}
+	b, err := newBase(d, initialPort)
+	if err != nil {
+		return nil, err
+	}
+	return &KSwitch{base: b, groupCards: k}, nil
+}
+
+// K returns the switch size.
+func (s *KSwitch) K() int { return s.groupCards }
+
+// switchPorts returns the k candidate ports of the switch owning the given
+// port: same slot, every card of the group, ordered card 0..k-1.
+func (s *KSwitch) switchPorts(port int) []int {
+	slot := s.d.SlotOf(port)
+	group := s.d.CardOf(port) / s.groupCards
+	out := make([]int, s.groupCards)
+	for i := 0; i < s.groupCards; i++ {
+		card := group*s.groupCards + i
+		out[i] = card*s.d.PortsPerCard + slot
+	}
+	return out
+}
+
+// OnWake remaps the waking line within its switch so active lines pack
+// toward the highest-numbered card of the group: prefer a port on a card
+// that is already awake (highest such card), else the highest card whose
+// port holds no active line. Displaced sleeping lines swap into the waking
+// line's old port — a pure relay operation, invisible to both users.
+func (s *KSwitch) OnWake(line int) {
+	ports := s.switchPorts(s.portOf[line])
+	awake := s.CardsAwake()
+	best := -1
+	// First pass: awake cards with a non-active port at our slot.
+	for i := len(ports) - 1; i >= 0; i-- {
+		p := ports[i]
+		if other := s.lineAt[p]; other != -1 && s.active[other] {
+			continue
+		}
+		if awake[s.d.CardOf(p)] {
+			best = p
+			break
+		}
+		if best == -1 {
+			best = p // fallback: highest-numbered card available
+		}
+	}
+	if best != -1 {
+		s.move(line, best)
+	}
+	s.active[line] = true
+}
+
+// OnSleep marks the line inactive; its position is kept (remaps happen at
+// wake time only).
+func (s *KSwitch) OnSleep(line int) { s.active[line] = false }
+
+// Repack is a no-op for k-switches: the paper restricts remapping to wake
+// instants.
+func (s *KSwitch) Repack() {}
+
+// FullSwitch can terminate any line on any port and repack all active
+// lines onto a minimal prefix of cards with zero disruption — the paper's
+// idealized Optimal upper bound.
+type FullSwitch struct{ *base }
+
+// NewFullSwitch builds the idealized policy.
+func NewFullSwitch(d dsl.DSLAM, initialPort []int) (*FullSwitch, error) {
+	b, err := newBase(d, initialPort)
+	if err != nil {
+		return nil, err
+	}
+	return &FullSwitch{b}, nil
+}
+
+// OnWake marks active and packs immediately.
+func (f *FullSwitch) OnWake(line int) {
+	f.active[line] = true
+	f.Repack()
+}
+
+// OnSleep marks inactive and packs immediately.
+func (f *FullSwitch) OnSleep(line int) {
+	f.active[line] = false
+	f.Repack()
+}
+
+// Repack moves every active line onto the lowest-numbered ports, occupying
+// exactly ceil(active/portsPerCard) cards. Active lines already inside the
+// target range stay put; only the rest move, displacing inactive lines.
+func (f *FullSwitch) Repack() {
+	var movers []int
+	var n int
+	for line := range f.portOf {
+		if f.active[line] {
+			n++
+		}
+	}
+	taken := make([]bool, n)
+	for line := range f.portOf {
+		if !f.active[line] {
+			continue
+		}
+		if p := f.portOf[line]; p < n {
+			taken[p] = true
+		} else {
+			movers = append(movers, line)
+		}
+	}
+	next := 0
+	for _, line := range movers {
+		for taken[next] {
+			next++
+		}
+		f.move(line, next)
+		taken[next] = true
+	}
+}
+
+// RandomInitialPorts is a convenience wrapper over dsl.RandomAssignment for
+// wiring n lines to a DSLAM.
+func RandomInitialPorts(d dsl.DSLAM, n int, seed int64) ([]int, error) {
+	return dsl.RandomAssignment(d, n, seed)
+}
+
+// SimulateSleepProbability estimates, by Monte Carlo, the probability that
+// each card of a k-card group sleeps when every line is independently
+// active with probability p and the k-switches pack ideally (the setting of
+// Fig 5): m switches of size k, card ℓ sleeps iff every switch has at least
+// ℓ+1... — in the paper's 1-based terms, card l sleeps iff at least l of
+// the k lines of every switch are inactive.
+func SimulateSleepProbability(k, m int, p float64, trials int, r *rand.Rand) []float64 {
+	sleeps := make([]int, k)
+	for trial := 0; trial < trials; trial++ {
+		// minInactive = min over switches of inactive-line count.
+		minInactive := k
+		for s := 0; s < m; s++ {
+			inactive := 0
+			for i := 0; i < k; i++ {
+				if r.Float64() >= p {
+					inactive++
+				}
+			}
+			if inactive < minInactive {
+				minInactive = inactive
+			}
+		}
+		// Cards 1..minInactive sleep (1-based l).
+		for l := 1; l <= minInactive; l++ {
+			sleeps[l-1]++
+		}
+	}
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = float64(sleeps[i]) / float64(trials)
+	}
+	return out
+}

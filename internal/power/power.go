@@ -1,0 +1,174 @@
+// Package power models the power draw and energy accounting of access
+// network devices: user gateways (wireless router + ADSL modem), DSLAM
+// shelves, DSL line cards and the per-line ISP modems.
+//
+// The figures come from the paper's measurements (§5.1):
+//
+//   - Netgear WNR 3500L wireless router: ~5 W, <10% variation with load
+//   - Telsey CPVA642WA ADSL gateway:     ~9 W, ~constant across load
+//   - Alcatel 7302 ISAM shelf:           21 W typical (53 W max)
+//   - NVLT-C DSL line card:              98 W typical (112 W max)
+//   - per-line ISP modem (port):         ~1 W
+//
+// Devices are modelled as three-state machines (On / Waking / Sleeping).
+// A waking device draws full power but carries no traffic — exactly the
+// penalty the paper charges for the 60 s gateway wake-up.
+package power
+
+import "fmt"
+
+// Default power figures in watts, as measured in the paper.
+const (
+	GatewayWatts   = 9.0  // Telsey CPVA642WA ADSL gateway (modem+AP+router)
+	RouterWatts    = 5.0  // Netgear WNR 3500L (used for sensitivity runs)
+	ShelfWatts     = 21.0 // Alcatel 7302 ISAM shelf, typical
+	LineCardWatts  = 98.0 // NVLT-C line card, typical
+	ISPModemWatts  = 1.0  // single DSLAM port/modem
+	SleepWatts     = 0.0  // the paper counts a sleeping device as off
+	ShelfMaxWatts  = 53.0
+	CardMaxWatts   = 112.0
+	GatewayStandby = 0.0 // BH2 assumes full power-off via SoI
+)
+
+// State is a device power state.
+type State uint8
+
+const (
+	// Sleeping devices draw SleepWatts and carry no traffic.
+	Sleeping State = iota
+	// Waking devices draw full power but carry no traffic yet.
+	Waking
+	// On devices draw full power and carry traffic.
+	On
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Sleeping:
+		return "sleeping"
+	case Waking:
+		return "waking"
+	case On:
+		return "on"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Device tracks the power state of one device and integrates its energy use
+// over time. All times are in seconds; energy is reported in joules.
+type Device struct {
+	Name       string
+	ActiveW    float64 // draw when On or Waking
+	SleepW     float64 // draw when Sleeping
+	state      State
+	lastChange float64 // time of the last state change
+	joules     float64 // energy accumulated up to lastChange
+	onTime     float64 // cumulative seconds in On or Waking
+	wakeups    int
+}
+
+// NewDevice creates a device in the given initial state at time t0.
+func NewDevice(name string, activeW float64, initial State, t0 float64) *Device {
+	return &Device{Name: name, ActiveW: activeW, SleepW: SleepWatts, state: initial, lastChange: t0}
+}
+
+// State returns the current power state.
+func (d *Device) State() State { return d.state }
+
+// draw returns the instantaneous power draw in the current state.
+func (d *Device) draw() float64 {
+	if d.state == Sleeping {
+		return d.SleepW
+	}
+	return d.ActiveW
+}
+
+// DrawW returns the instantaneous power draw (for sampling).
+func (d *Device) DrawW() float64 { return d.draw() }
+
+// advance integrates energy from lastChange to t.
+func (d *Device) advance(t float64) {
+	if t < d.lastChange {
+		panic(fmt.Sprintf("power: time going backwards for %s: %v < %v", d.Name, t, d.lastChange))
+	}
+	dt := t - d.lastChange
+	d.joules += dt * d.draw()
+	if d.state != Sleeping {
+		d.onTime += dt
+	}
+	d.lastChange = t
+}
+
+// SetState moves the device to state s at time t, integrating energy for the
+// elapsed interval. Transitions to the same state are cheap no-ops apart
+// from the integration.
+func (d *Device) SetState(t float64, s State) {
+	d.advance(t)
+	if d.state == Sleeping && s == Waking {
+		d.wakeups++
+	}
+	if d.state == Sleeping && s == On {
+		// Direct sleep->on counts as a wakeup too (used by schemes that
+		// model zero wake latency, e.g. the idealized Optimal).
+		d.wakeups++
+	}
+	d.state = s
+}
+
+// EnergyAt returns the total joules consumed in [t0, t].
+func (d *Device) EnergyAt(t float64) float64 {
+	d.advance(t)
+	return d.joules
+}
+
+// OnTimeAt returns cumulative non-sleeping seconds in [t0, t].
+func (d *Device) OnTimeAt(t float64) float64 {
+	d.advance(t)
+	return d.onTime
+}
+
+// Wakeups returns how many sleep->wake transitions occurred.
+func (d *Device) Wakeups() int { return d.wakeups }
+
+// Accounting aggregates energy for a population of devices split into the
+// user side (gateways) and the ISP side (shelf + line cards + port modems),
+// mirroring the breakdown of Fig 8.
+type Accounting struct {
+	UserJ float64 // joules consumed by gateways
+	ISPJ  float64 // joules consumed by DSLAM shelf, cards and port modems
+}
+
+// Total returns total joules.
+func (a Accounting) Total() float64 { return a.UserJ + a.ISPJ }
+
+// SavingsVs returns the fractional saving of a relative to baseline
+// (0.66 = 66% less energy). A zero baseline yields zero.
+func (a Accounting) SavingsVs(baseline Accounting) float64 {
+	if baseline.Total() == 0 {
+		return 0
+	}
+	return 1 - a.Total()/baseline.Total()
+}
+
+// ISPShareOfSavings returns the fraction of the total savings relative to
+// baseline that is attributable to the ISP side (Fig 8's y-axis). Zero when
+// there are no savings.
+func (a Accounting) ISPShareOfSavings(baseline Accounting) float64 {
+	saved := baseline.Total() - a.Total()
+	if saved <= 0 {
+		return 0
+	}
+	ispSaved := baseline.ISPJ - a.ISPJ
+	if ispSaved < 0 {
+		ispSaved = 0
+	}
+	return ispSaved / saved
+}
+
+// WattHours converts joules to watt-hours.
+func WattHours(joules float64) float64 { return joules / 3600 }
+
+// KWh converts joules to kilowatt-hours.
+func KWh(joules float64) float64 { return joules / 3.6e6 }

@@ -1,0 +1,156 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateString(t *testing.T) {
+	if Sleeping.String() != "sleeping" || Waking.String() != "waking" || On.String() != "on" {
+		t.Errorf("state strings: %v %v %v", Sleeping, Waking, On)
+	}
+	if State(9).String() != "State(9)" {
+		t.Errorf("unknown state string: %v", State(9))
+	}
+}
+
+func TestDeviceEnergyIntegration(t *testing.T) {
+	d := NewDevice("gw", GatewayWatts, On, 0)
+	// 100 s on, 50 s sleeping, 60 s waking, 100 s on.
+	d.SetState(100, Sleeping)
+	d.SetState(150, Waking)
+	d.SetState(210, On)
+	got := d.EnergyAt(310)
+	want := 9.0*100 + 0 + 9.0*60 + 9.0*100
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+	if ot := d.OnTimeAt(310); math.Abs(ot-260) > 1e-9 {
+		t.Errorf("onTime = %v, want 260", ot)
+	}
+	if d.Wakeups() != 1 {
+		t.Errorf("wakeups = %d, want 1", d.Wakeups())
+	}
+}
+
+func TestDeviceNeverSleepsBaseline(t *testing.T) {
+	d := NewDevice("card", LineCardWatts, On, 0)
+	day := 86400.0
+	if got := d.EnergyAt(day); math.Abs(got-98*day) > 1e-6 {
+		t.Errorf("always-on card energy = %v, want %v", got, 98*day)
+	}
+}
+
+func TestDeviceDirectSleepToOnCountsWakeup(t *testing.T) {
+	d := NewDevice("gw", GatewayWatts, Sleeping, 0)
+	d.SetState(10, On)
+	if d.Wakeups() != 1 {
+		t.Errorf("wakeups = %d, want 1", d.Wakeups())
+	}
+}
+
+func TestDeviceTimeMonotonicityPanics(t *testing.T) {
+	d := NewDevice("gw", GatewayWatts, On, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time going backwards")
+		}
+	}()
+	d.SetState(50, Sleeping)
+}
+
+func TestRepeatedSameStateTransitions(t *testing.T) {
+	d := NewDevice("gw", GatewayWatts, On, 0)
+	d.SetState(10, On)
+	d.SetState(20, On)
+	if got := d.EnergyAt(30); math.Abs(got-270) > 1e-9 {
+		t.Errorf("energy = %v, want 270", got)
+	}
+	if d.Wakeups() != 0 {
+		t.Errorf("wakeups = %d, want 0", d.Wakeups())
+	}
+}
+
+// Property: energy is non-decreasing in time and bounded by ActiveW * elapsed.
+func TestDeviceEnergyBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		d := NewDevice("x", 10, Sleeping, 0)
+		t0 := 0.0
+		states := []State{Sleeping, Waking, On}
+		prevE := 0.0
+		for i, r := range raw {
+			t0 += float64(r%1000) + 1
+			d.SetState(t0, states[i%3])
+			e := d.EnergyAt(t0)
+			if e < prevE {
+				return false
+			}
+			if e > 10*t0+1e-9 {
+				return false
+			}
+			prevE = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccountingSavings(t *testing.T) {
+	base := Accounting{UserJ: 600, ISPJ: 400}
+	run := Accounting{UserJ: 200, ISPJ: 140}
+	if got := run.SavingsVs(base); math.Abs(got-0.66) > 1e-12 {
+		t.Errorf("savings = %v, want 0.66", got)
+	}
+	// ISP contributed 260 of the 660 saved joules.
+	if got := run.ISPShareOfSavings(base); math.Abs(got-260.0/660.0) > 1e-12 {
+		t.Errorf("ISP share = %v, want %v", got, 260.0/660.0)
+	}
+}
+
+func TestAccountingEdgeCases(t *testing.T) {
+	var zero Accounting
+	if zero.SavingsVs(zero) != 0 {
+		t.Error("zero baseline should give zero savings")
+	}
+	base := Accounting{UserJ: 100}
+	worse := Accounting{UserJ: 200}
+	if got := worse.SavingsVs(base); got != -1 {
+		t.Errorf("negative savings = %v, want -1", got)
+	}
+	if got := worse.ISPShareOfSavings(base); got != 0 {
+		t.Errorf("ISP share with no savings = %v, want 0", got)
+	}
+}
+
+func TestISPShareClampsNegativeISPSavings(t *testing.T) {
+	base := Accounting{UserJ: 1000, ISPJ: 100}
+	run := Accounting{UserJ: 100, ISPJ: 200} // ISP got worse, user carried it
+	got := run.ISPShareOfSavings(base)
+	if got != 0 {
+		t.Errorf("ISP share = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if WattHours(3600) != 1 {
+		t.Errorf("WattHours(3600) = %v", WattHours(3600))
+	}
+	if KWh(3.6e6) != 1 {
+		t.Errorf("KWh(3.6e6) = %v", KWh(3.6e6))
+	}
+}
+
+func TestPaperPowerBudget(t *testing.T) {
+	// Sanity: the paper's 48-port DSLAM (4 cards) no-sleep draw per day.
+	day := 86400.0
+	ispW := ShelfWatts + 4*LineCardWatts + 48*ISPModemWatts
+	userW := 48 * GatewayWatts
+	totalKWh := KWh((ispW + userW) * day)
+	// 21+392+48 = 461 W ISP, 432 W user => 893 W => ~21.4 kWh/day.
+	if math.Abs(totalKWh-21.4) > 0.2 {
+		t.Errorf("daily kWh = %v, want ~21.4", totalKWh)
+	}
+}

@@ -1,0 +1,262 @@
+// Package sim is the trace-driven discrete-event simulator behind the §5
+// evaluation: it replays a generated wireless trace over a gateway
+// topology and a DSLAM model under one of the paper's schemes and reports
+// energy, online-device and QoS metrics for Figs 6-10 and the §5.2.3
+// line-card table.
+//
+// Model summary (see DESIGN.md for the full mapping):
+//
+//   - Flows share a gateway's backhaul by processor sharing, bounded by the
+//     client-gateway wireless rate; keepalives are instantaneous but reset
+//     the gateway's idle clock — the "continuous light traffic" that defeats
+//     plain Sleep-on-Idle.
+//   - Gateways follow soi.Controller (60 s idle timeout, 60 s wake).
+//     Sleeping gateways power off their DSLAM port modem; a line card
+//     sleeps when no active line terminates on it (per the switch policy).
+//   - BH² terminals estimate loads with the wifi SN-counting estimator and
+//     run bh2.Decide on their own jittered period.
+//   - The Optimal scheme re-solves Eq (1) every minute (package optimal)
+//     with instant, disruption-free migration and a full switch — the
+//     paper's upper bound.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"insomnia/internal/bh2"
+	"insomnia/internal/dsl"
+	"insomnia/internal/power"
+	"insomnia/internal/stats"
+	"insomnia/internal/topology"
+	"insomnia/internal/trace"
+)
+
+// Scheme selects the algorithm under evaluation.
+type Scheme int
+
+// The schemes of §5.1 plus the ablation variants of §5.2.3 and the
+// centralized-controller extension the paper's §3.3 sketches.
+const (
+	NoSleep Scheme = iota
+	SoI
+	SoIKSwitch
+	SoIFullSwitch
+	BH2KSwitch
+	BH2FullSwitch
+	BH2NoBackup // BH² without backup, k-switch
+	Optimal
+	// Centralized is the §3.3 "more centralized/coordinated" variant
+	// (in the spirit of Jardosh et al.'s green WLANs): a controller with
+	// global load knowledge re-solves the assignment every minute like
+	// Optimal, but lives with reality — woken gateways take the full
+	// wake delay before they carry traffic, flows never migrate
+	// mid-transfer, and lines go through k-switches, not a full switch.
+	// It bounds how much of the Optimal margin coordination alone buys.
+	Centralized
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case NoSleep:
+		return "no-sleep"
+	case SoI:
+		return "SoI"
+	case SoIKSwitch:
+		return "SoI+k-switch"
+	case SoIFullSwitch:
+		return "SoI+full-switch"
+	case BH2KSwitch:
+		return "BH2+k-switch"
+	case BH2FullSwitch:
+		return "BH2+full-switch"
+	case BH2NoBackup:
+		return "BH2-nobackup+k-switch"
+	case Optimal:
+		return "optimal"
+	case Centralized:
+		return "centralized+k-switch"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// usesBH2 reports whether the scheme runs the BH² terminal algorithm.
+func (s Scheme) usesBH2() bool {
+	return s == BH2KSwitch || s == BH2FullSwitch || s == BH2NoBackup
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Trace *trace.Trace       // generated workload (downlink flows drive QoS)
+	Topo  *topology.Topology // client-gateway reachability
+
+	DSLAM  dsl.DSLAM // ISP shelf shape (default: 4x12, §5.1)
+	PortOf []int     // line -> port wiring (default: random via seed)
+	K      int       // k-switch size for *KSwitch schemes (default 4)
+
+	Scheme Scheme
+	BH2    bh2.Params // zero value takes bh2.DefaultParams
+
+	IdleTimeout float64 // default dsl.IdleTimeoutSeconds
+	WakeDelay   float64 // default dsl.WakeSeconds
+	// RandomWake draws each wake-up duration from the measured
+	// distribution (mean 60 s, resyncs up to 3 min — §5.1) instead of the
+	// constant WakeDelay. Used by the wake-time sensitivity ablation.
+	RandomWake   bool
+	OptimalEvery float64 // Optimal resolve period (default 60 s)
+
+	Seed        int64
+	SampleEvery float64 // metric sampling period (default 1 s)
+
+	// DebugDecisions, when set, observes every BH2 decision (diagnostics
+	// and tests only).
+	DebugDecisions func(t float64, client int, views []bh2.GatewayView, d bh2.Decision)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Trace == nil || c.Topo == nil {
+		return c, fmt.Errorf("sim: missing trace or topology")
+	}
+	if c.Topo.NumClients() != c.Trace.Cfg.Clients {
+		return c, fmt.Errorf("sim: topology has %d clients, trace %d", c.Topo.NumClients(), c.Trace.Cfg.Clients)
+	}
+	if c.Topo.NumGateways < c.Trace.Cfg.APs {
+		return c, fmt.Errorf("sim: topology has %d gateways, trace needs %d", c.Topo.NumGateways, c.Trace.Cfg.APs)
+	}
+	if c.DSLAM.Cards == 0 {
+		c.DSLAM = dsl.EvalDSLAM
+	}
+	if err := c.DSLAM.Validate(); err != nil {
+		return c, err
+	}
+	if c.DSLAM.Ports() < c.Topo.NumGateways {
+		return c, fmt.Errorf("sim: %d gateways exceed %d DSLAM ports", c.Topo.NumGateways, c.DSLAM.Ports())
+	}
+	if c.PortOf == nil {
+		p, err := dsl.RandomAssignment(c.DSLAM, c.Topo.NumGateways, c.Seed)
+		if err != nil {
+			return c, err
+		}
+		c.PortOf = p
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.BH2.PeriodSec == 0 {
+		c.BH2 = bh2.DefaultParams()
+	}
+	if c.Scheme == BH2NoBackup {
+		c.BH2.Backup = 0
+	}
+	if err := c.BH2.Validate(); err != nil {
+		return c, err
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = dsl.IdleTimeoutSeconds
+	}
+	if c.WakeDelay == 0 {
+		c.WakeDelay = dsl.WakeSeconds
+	}
+	if c.OptimalEvery == 0 {
+		c.OptimalEvery = 60
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 1
+	}
+	return c, nil
+}
+
+// Result collects everything the evaluation figures need from one run.
+type Result struct {
+	Scheme   Scheme
+	Duration float64
+
+	// Per-time-bin series (one bin per SampleEvery seconds, averaged into
+	// hourly bins by the figure code).
+	PowerW      *stats.TimeSeries // total instantaneous draw
+	UserPowerW  *stats.TimeSeries // gateways only
+	ISPPowerW   *stats.TimeSeries // shelf + cards + port modems
+	OnlineGWs   *stats.TimeSeries
+	OnlineCards *stats.TimeSeries
+
+	// FCT[i] is the completion time (seconds) of downlink flow i in
+	// trace.Flows order; NaN for uplink flows (not simulated).
+	FCT []float64
+
+	// FlowStall[i] is the seconds flow i spent waiting for a waking
+	// gateway — the delay component the paper's Fig 9a charges (its
+	// simulator did not model bandwidth contention; see EXPERIMENTS.md).
+	FlowStall []float64
+
+	// GatewayOnTime[g] is gateway g's total non-sleeping seconds.
+	GatewayOnTime []float64
+
+	Energy   power.Accounting // total joules split user/ISP
+	Wakeups  int              // gateway wake transitions
+	Moves    int              // BH2 re-associations
+	Resolves int              // Optimal solver invocations
+	OptGap   int              // resolves not proven optimal
+
+	// DecisionReasons counts BH2 decision outcomes by reason — the §5.1
+	// oscillation diagnostics.
+	DecisionReasons map[bh2.Reason]int
+}
+
+// SavingsVs returns total energy savings of r against a baseline run.
+func (r *Result) SavingsVs(base *Result) float64 { return r.Energy.SavingsVs(base.Energy) }
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.run()
+	return s.result(), nil
+}
+
+// MeanOver averages a result series over the time window [fromH, toH) hours.
+func MeanOver(ts *stats.TimeSeries, fromH, toH float64) float64 {
+	var w stats.Welford
+	for i := 0; i < ts.Bins(); i++ {
+		t := ts.BinTime(i) / 3600
+		if t >= fromH && t < toH {
+			w.Add(ts.MeanAt(i))
+		}
+	}
+	return w.Mean()
+}
+
+// SavingsSeries computes per-bin fractional savings of run vs base power.
+func SavingsSeries(run, base *Result) []float64 {
+	out := make([]float64, run.PowerW.Bins())
+	for i := range out {
+		b := base.PowerW.MeanAt(i)
+		if b > 0 {
+			out[i] = 1 - run.PowerW.MeanAt(i)/b
+		}
+	}
+	return out
+}
+
+// ISPShareSeries computes, per bin, the ISP fraction of total power savings
+// vs the baseline (Fig 8). Bins with no savings report 0.
+func ISPShareSeries(run, base *Result) []float64 {
+	out := make([]float64, run.PowerW.Bins())
+	for i := range out {
+		saved := base.PowerW.MeanAt(i) - run.PowerW.MeanAt(i)
+		ispSaved := base.ISPPowerW.MeanAt(i) - run.ISPPowerW.MeanAt(i)
+		if saved > 1e-9 && ispSaved > 0 {
+			out[i] = ispSaved / saved
+		}
+	}
+	return out
+}
+
+var nan = math.NaN()

@@ -1,0 +1,141 @@
+// Package soi implements the Sleep-on-Idle controller that every scheme in
+// the paper (except no-sleep) builds on: a device sleeps after IdleTimeout
+// seconds without traffic and needs WakeDelay seconds to boot and resync
+// before it can carry traffic again (§2.4, §5.1).
+//
+// The controller drives an attached power.Device so that energy is
+// integrated at the exact transition instants, and exposes the next
+// autonomous transition time so a discrete-event simulator can schedule it.
+package soi
+
+import (
+	"fmt"
+	"math"
+
+	"insomnia/internal/power"
+)
+
+// Controller tracks one device's sleep state.
+type Controller struct {
+	IdleTimeout float64 // seconds of silence before sleeping
+	WakeDelay   float64 // boot + modem resync time
+
+	dev          *power.Device
+	lastActivity float64 // most recent traffic epoch
+	wakeAt       float64 // when a pending wake completes
+	now          float64
+}
+
+// New creates a controller over dev starting at time t0. The device's
+// current state is taken as the initial state; a Waking device completes at
+// t0+WakeDelay.
+func New(dev *power.Device, idleTimeout, wakeDelay, t0 float64) *Controller {
+	c := &Controller{
+		IdleTimeout: idleTimeout, WakeDelay: wakeDelay,
+		dev: dev, now: t0, lastActivity: t0, wakeAt: math.Inf(1),
+	}
+	if dev.State() == power.Waking {
+		c.wakeAt = t0 + wakeDelay
+	}
+	return c
+}
+
+// Device returns the attached power device.
+func (c *Controller) Device() *power.Device { return c.dev }
+
+// State returns the device state as of the last Advance/Touch.
+func (c *Controller) State() power.State { return c.dev.State() }
+
+// Awake reports whether the device can carry traffic now.
+func (c *Controller) Awake() bool { return c.dev.State() == power.On }
+
+// Advance applies every transition due up to time t, in order, at the exact
+// instants they occur. Time must be monotone across calls.
+func (c *Controller) Advance(t float64) {
+	if t < c.now {
+		panic(fmt.Sprintf("soi: time going backwards: %v < %v", t, c.now))
+	}
+	for {
+		switch c.dev.State() {
+		case power.Waking:
+			if c.wakeAt <= t {
+				c.dev.SetState(c.wakeAt, power.On)
+				// The wake itself counts as activity: the idle clock starts
+				// once the device is operational.
+				if c.wakeAt > c.lastActivity {
+					c.lastActivity = c.wakeAt
+				}
+				c.wakeAt = math.Inf(1)
+				continue
+			}
+		case power.On:
+			if deadline := c.lastActivity + c.IdleTimeout; deadline <= t {
+				c.dev.SetState(deadline, power.Sleeping)
+				continue
+			}
+		case power.Sleeping:
+			// Stays asleep until Touch.
+		}
+		break
+	}
+	c.now = t
+}
+
+// Touch records traffic (or a wake request) at time t. A sleeping device
+// starts waking and becomes usable at t+WakeDelay; an awake device resets
+// its idle clock. Returns true when the touch initiated a wake.
+func (c *Controller) Touch(t float64) bool {
+	c.Advance(t)
+	if t > c.lastActivity {
+		c.lastActivity = t
+	}
+	if c.dev.State() == power.Sleeping {
+		c.dev.SetState(t, power.Waking)
+		c.wakeAt = t + c.WakeDelay
+		return true
+	}
+	return false
+}
+
+// Busy marks continuous activity up to time t without advancing the
+// controller. Use it when the device is known to have been busy through a
+// nominally-passed idle deadline (a flow in service): Touch would first
+// Advance past the deadline and put the device to sleep for an instant,
+// charging a bogus wake; Busy just moves the idle clock.
+func (c *Controller) Busy(t float64) {
+	if t > c.lastActivity {
+		c.lastActivity = t
+	}
+}
+
+// NextTransition returns the next time the controller will change state on
+// its own (wake completion or sleep deadline), or +Inf if none is pending.
+func (c *Controller) NextTransition() float64 {
+	switch c.dev.State() {
+	case power.Waking:
+		return c.wakeAt
+	case power.On:
+		return c.lastActivity + c.IdleTimeout
+	default:
+		return math.Inf(1)
+	}
+}
+
+// WakeReadyAt returns when a pending wake completes (+Inf when not waking).
+func (c *Controller) WakeReadyAt() float64 {
+	if c.dev.State() == power.Waking {
+		return c.wakeAt
+	}
+	return math.Inf(1)
+}
+
+// Sleep forces the device to sleep at time t regardless of the idle clock.
+// Used by the idealized Optimal scheme, which powers gateways on and off by
+// fiat with zero-downtime migration.
+func (c *Controller) Sleep(t float64) {
+	c.Advance(t)
+	if c.dev.State() != power.Sleeping {
+		c.dev.SetState(t, power.Sleeping)
+		c.wakeAt = math.Inf(1)
+	}
+}

@@ -1,0 +1,215 @@
+package soi
+
+import (
+	"math"
+	"testing"
+
+	"insomnia/internal/power"
+)
+
+func newCtl(t0 float64, initial power.State) *Controller {
+	dev := power.NewDevice("gw", power.GatewayWatts, initial, t0)
+	return New(dev, 60, 60, t0)
+}
+
+func TestSleepsAfterIdleTimeout(t *testing.T) {
+	c := newCtl(0, power.On)
+	c.Touch(10)
+	c.Advance(69.9)
+	if !c.Awake() {
+		t.Fatal("slept before timeout")
+	}
+	c.Advance(70)
+	if c.State() != power.Sleeping {
+		t.Fatalf("state = %v, want sleeping at lastActivity+60", c.State())
+	}
+	// Energy: on for exactly 70 s.
+	if got := c.Device().OnTimeAt(100); math.Abs(got-70) > 1e-9 {
+		t.Errorf("on time = %v, want 70", got)
+	}
+}
+
+func TestTouchWakesSleeping(t *testing.T) {
+	c := newCtl(0, power.Sleeping)
+	if woke := c.Touch(100); !woke {
+		t.Fatal("Touch did not initiate wake")
+	}
+	if c.State() != power.Waking {
+		t.Fatalf("state = %v, want waking", c.State())
+	}
+	if got := c.WakeReadyAt(); got != 160 {
+		t.Errorf("wake ready = %v, want 160", got)
+	}
+	c.Advance(160)
+	if !c.Awake() {
+		t.Fatal("not awake after wake delay")
+	}
+}
+
+func TestIdleClockStartsAfterWake(t *testing.T) {
+	c := newCtl(0, power.Sleeping)
+	c.Touch(100) // wake completes at 160
+	// No further traffic: device must stay awake until 160+60=220.
+	c.Advance(219.9)
+	if !c.Awake() {
+		t.Fatal("slept before post-wake idle timeout")
+	}
+	c.Advance(220)
+	if c.State() != power.Sleeping {
+		t.Fatalf("state = %v, want sleeping at 220", c.State())
+	}
+}
+
+func TestTouchWhileWakingDoesNotRestartWake(t *testing.T) {
+	c := newCtl(0, power.Sleeping)
+	c.Touch(100)
+	if woke := c.Touch(130); woke {
+		t.Error("second touch should not re-initiate wake")
+	}
+	if got := c.WakeReadyAt(); got != 160 {
+		t.Errorf("wake ready moved to %v", got)
+	}
+	// Traffic at 130 is queued until the device is operational at 160, so
+	// the idle clock starts there: sleep at 220.
+	c.Advance(160)
+	if !c.Awake() {
+		t.Fatal("not awake")
+	}
+	c.Advance(219.9)
+	if !c.Awake() {
+		t.Fatal("slept too early; queued traffic served at 160 holds it to 220")
+	}
+	c.Advance(220)
+	if c.State() != power.Sleeping {
+		t.Fatalf("state = %v at 220", c.State())
+	}
+}
+
+func TestContinuousLightTrafficPreventsSleep(t *testing.T) {
+	// The §2.4 insomnia effect: one packet every 50 s < 60 s timeout keeps
+	// the gateway up forever.
+	c := newCtl(0, power.On)
+	for ts := 0.0; ts <= 3600; ts += 50 {
+		if c.Touch(ts) {
+			t.Fatalf("gateway slept at %v despite continuous traffic", ts)
+		}
+	}
+	if got := c.Device().OnTimeAt(3600); math.Abs(got-3600) > 1e-9 {
+		t.Errorf("on time = %v, want 3600", got)
+	}
+}
+
+func TestChainedTransitionsInOneAdvance(t *testing.T) {
+	// Advancing far past wake+idle must apply both transitions at their
+	// exact instants: waking(100..160), on(160..220), sleeping(220..).
+	c := newCtl(0, power.Sleeping)
+	c.Touch(100)
+	c.Advance(1000)
+	if c.State() != power.Sleeping {
+		t.Fatalf("state = %v, want sleeping", c.State())
+	}
+	// Energy: 9 W for the 120 s of waking+on.
+	want := 120 * power.GatewayWatts
+	if got := c.Device().EnergyAt(1000); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestNextTransition(t *testing.T) {
+	c := newCtl(0, power.On)
+	if got := c.NextTransition(); got != 60 {
+		t.Errorf("on: next = %v, want 60", got)
+	}
+	c.Advance(60) // sleeps
+	if got := c.NextTransition(); !math.IsInf(got, 1) {
+		t.Errorf("sleeping: next = %v, want +Inf", got)
+	}
+	c.Touch(100)
+	if got := c.NextTransition(); got != 160 {
+		t.Errorf("waking: next = %v, want 160", got)
+	}
+}
+
+func TestAdvancePanicsOnTimeTravel(t *testing.T) {
+	c := newCtl(0, power.On)
+	c.Advance(50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Advance(40)
+}
+
+func TestInitialWakingState(t *testing.T) {
+	dev := power.NewDevice("gw", power.GatewayWatts, power.Waking, 10)
+	c := New(dev, 60, 60, 10)
+	if got := c.WakeReadyAt(); got != 70 {
+		t.Errorf("initial waking ready at %v, want 70", got)
+	}
+	c.Advance(70)
+	if !c.Awake() {
+		t.Error("not awake after initial wake")
+	}
+}
+
+func TestWakeCountsAsWakeup(t *testing.T) {
+	c := newCtl(0, power.Sleeping)
+	c.Touch(10)
+	c.Advance(200)
+	c.Touch(300)
+	c.Advance(500)
+	if got := c.Device().Wakeups(); got != 2 {
+		t.Errorf("wakeups = %d, want 2", got)
+	}
+}
+
+func TestBusyExtendsWithoutSleeping(t *testing.T) {
+	c := newCtl(0, power.On)
+	c.Touch(10) // deadline 70
+	// At exactly the deadline, the caller knows the device is busy.
+	c.Busy(70)
+	c.Advance(70)
+	if !c.Awake() {
+		t.Fatal("Busy at the deadline failed to prevent sleep")
+	}
+	if got := c.NextTransition(); got != 130 {
+		t.Errorf("next transition = %v, want 130", got)
+	}
+	if c.Device().Wakeups() != 0 {
+		t.Errorf("bogus wakeup charged: %d", c.Device().Wakeups())
+	}
+	// Busy never moves the clock backwards.
+	c.Busy(50)
+	if got := c.NextTransition(); got != 130 {
+		t.Errorf("Busy moved the idle clock backwards: %v", got)
+	}
+}
+
+func TestForcedSleep(t *testing.T) {
+	c := newCtl(0, power.On)
+	c.Touch(50) // keep it awake past the initial idle deadline
+	c.Sleep(100)
+	if c.State() != power.Sleeping {
+		t.Fatalf("state = %v after forced sleep", c.State())
+	}
+	// Idempotent.
+	c.Sleep(110)
+	if c.State() != power.Sleeping {
+		t.Fatal("second Sleep changed state")
+	}
+	// Forced sleep mid-wake cancels the wake.
+	c.Touch(200)
+	c.Sleep(210)
+	if c.State() != power.Sleeping {
+		t.Fatalf("state = %v; Sleep should cancel a pending wake", c.State())
+	}
+	if got := c.WakeReadyAt(); !math.IsInf(got, 1) {
+		t.Errorf("wakeAt = %v after forced sleep, want +Inf", got)
+	}
+	// Energy: on 0..100 (forced sleep), waking 200..210 => 110 s active.
+	want := 110 * power.GatewayWatts
+	if got := c.Device().EnergyAt(300); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}

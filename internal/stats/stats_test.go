@@ -1,0 +1,362 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if got := w.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if got := w.Var(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Errorf("empty accumulator should be all zero")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 {
+		t.Errorf("single sample: mean=%v var=%v", w.Mean(), w.Var())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	check := func(n1, n2 int) {
+		var a, b, all Welford
+		for i := 0; i < n1; i++ {
+			x := r.NormFloat64()
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := r.NormFloat64()*3 + 10
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		if math.Abs(a.Mean()-all.Mean()) > 1e-9 || math.Abs(a.Var()-all.Var()) > 1e-9 {
+			t.Errorf("merge(%d,%d): mean %v vs %v, var %v vs %v", n1, n2, a.Mean(), all.Mean(), a.Var(), all.Var())
+		}
+	}
+	check(10, 20)
+	check(0, 5)
+	check(5, 0)
+	check(1, 1)
+}
+
+func TestHistogramClampsAndTotals(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)   // clamps into bin 0
+	h.Add(0.5)  // bin 0
+	h.Add(9.99) // bin 9
+	h.Add(42)   // clamps into bin 9
+	if h.Total() != 4 {
+		t.Fatalf("Total = %v, want 4", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	f := h.Fractions()
+	if math.Abs(f[0]-0.5) > 1e-12 || math.Abs(f[9]-0.5) > 1e-12 {
+		t.Errorf("fractions = %v", f)
+	}
+}
+
+func TestHistogramWeighted(t *testing.T) {
+	h := NewHistogram(0, 60, 60)
+	h.AddWeighted(30.5, 2.5)
+	h.AddWeighted(30.9, 1.5)
+	if h.Counts[30] != 4 {
+		t.Errorf("bin 30 = %v, want 4", h.Counts[30])
+	}
+	if h.BinLabel(30) != "30-31" {
+		t.Errorf("label = %q", h.BinLabel(30))
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bins")
+		}
+	}()
+	NewHistogram(0, 1, 0)
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.2}, {2.5, 0.4}, {5, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 3 {
+		t.Errorf("median = %v, want 3", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q := e.Quantile(1); q != 5 {
+		t.Errorf("q1 = %v, want 5", q)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(1) != 0 {
+		t.Errorf("empty At = %v", e.At(1))
+	}
+	if !math.IsNaN(e.Quantile(0.5)) {
+		t.Errorf("empty quantile should be NaN")
+	}
+}
+
+func TestECDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewECDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+// Property: ECDF is monotone non-decreasing and bounded in [0,1].
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, probe []float64) bool {
+		sample := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				sample = append(sample, x)
+			}
+		}
+		e := NewECDF(sample)
+		prevX, prevY := math.Inf(-1), 0.0
+		pts := make([]float64, 0, len(probe))
+		for _, x := range probe {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				pts = append(pts, x)
+			}
+		}
+		ec := NewECDF(pts) // reuse sorting
+		for _, x := range ec.Values() {
+			y := e.At(x)
+			if y < 0 || y > 1 {
+				return false
+			}
+			if x >= prevX && y < prevY {
+				return false
+			}
+			prevX, prevY = x, y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(0, 24, 24) // a day in hours
+	ts.Add(0.5, 10)
+	ts.Add(0.9, 20)
+	ts.Add(23.5, 5)
+	ts.Add(-1, 999) // dropped
+	ts.Add(24, 999) // dropped
+	if got := ts.MeanAt(0); got != 15 {
+		t.Errorf("bin 0 mean = %v, want 15", got)
+	}
+	if got := ts.MeanAt(23); got != 5 {
+		t.Errorf("bin 23 mean = %v, want 5", got)
+	}
+	if got := ts.MeanAt(12); got != 0 {
+		t.Errorf("empty bin mean = %v, want 0", got)
+	}
+	if bt := ts.BinTime(0); bt != 0.5 {
+		t.Errorf("BinTime(0) = %v, want 0.5", bt)
+	}
+}
+
+func TestTimeSeriesMerge(t *testing.T) {
+	a := NewTimeSeries(0, 10, 10)
+	b := NewTimeSeries(0, 10, 10)
+	a.Add(1.5, 1)
+	b.Add(1.5, 3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.MeanAt(1); got != 2 {
+		t.Errorf("merged mean = %v, want 2", got)
+	}
+	c := NewTimeSeries(0, 5, 10)
+	if err := a.Merge(c); err == nil {
+		t.Error("expected error for incompatible merge")
+	}
+}
+
+func TestMeanMedianQuantile(t *testing.T) {
+	s := []float64{5, 1, 4, 2, 3}
+	if m := Mean(s); m != 3 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Median(s); m != 3 {
+		t.Errorf("Median = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestNewRNGStreamsIndependent(t *testing.T) {
+	a := NewRNG(7, 1)
+	b := NewRNG(7, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams collided %d times", same)
+	}
+	// Determinism: same seed/stream gives the same sequence.
+	c, d := NewRNG(7, 1), NewRNG(7, 1)
+	for i := 0; i < 10; i++ {
+		if c.Int63() != d.Int63() {
+			t.Fatal("same stream not deterministic")
+		}
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := NewRNG(1, 0)
+	for i := 0; i < 10000; i++ {
+		x := Pareto(r, 1.2, 10, 1e6)
+		if x < 10 || x > 1e6 {
+			t.Fatalf("Pareto out of bounds: %v", x)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	r := NewRNG(2, 0)
+	var w Welford
+	over := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := Pareto(r, 1.2, 1, 1e9)
+		w.Add(x)
+		if x > 100 {
+			over++
+		}
+	}
+	// For alpha=1.2, P(X>100) ~ 100^-1.2 ~ 0.0040 (slightly less with the
+	// upper bound). Check it's in a loose band.
+	frac := float64(over) / n
+	if frac < 0.001 || frac > 0.01 {
+		t.Errorf("tail fraction = %v, want ~0.004", frac)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := NewRNG(3, 0)
+	if WeightedChoice(r, nil) != -1 {
+		t.Error("empty weights should return -1")
+	}
+	counts := make([]int, 3)
+	w := []float64{1, 0, 3}
+	for i := 0; i < 40000; i++ {
+		counts[WeightedChoice(r, w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoiceAllZero(t *testing.T) {
+	r := NewRNG(4, 0)
+	counts := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		counts[WeightedChoice(r, []float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Errorf("uniform fallback bin %d = %d, want ~2000", i, c)
+		}
+	}
+}
+
+// Property: WeightedChoice never returns an index with non-positive weight
+// when at least one weight is positive, and always returns a valid index.
+func TestWeightedChoiceProperty(t *testing.T) {
+	r := NewRNG(5, 0)
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		anyPos := false
+		for i, b := range raw {
+			w[i] = float64(b)
+			if b > 0 {
+				anyPos = true
+			}
+		}
+		i := WeightedChoice(r, w)
+		if i < 0 || i >= len(w) {
+			return false
+		}
+		if anyPos && w[i] == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(6, 0)
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		w.Add(Exp(r, 5))
+	}
+	if math.Abs(w.Mean()-5) > 0.1 {
+		t.Errorf("Exp mean = %v, want ~5", w.Mean())
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	r := NewRNG(7, 0)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = Lognormal(r, 2, 0.5)
+	}
+	med := Median(xs)
+	want := math.Exp(2)
+	if math.Abs(med-want)/want > 0.05 {
+		t.Errorf("lognormal median = %v, want ~%v", med, want)
+	}
+}

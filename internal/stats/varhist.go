@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VarHistogram is a histogram with arbitrary (variable-width) bin edges.
+// A value x falls in bin i when edges[i] <= x < edges[i+1]. The final edge
+// may be +Inf (used for the ">60 s" bin of the paper's Fig 4). Values below
+// the first edge are clamped into bin 0.
+type VarHistogram struct {
+	edges  []float64
+	counts []float64
+	sumX   []float64 // weighted sum of observed values per bin
+	total  float64
+}
+
+// NewVarHistogram creates a histogram with the given strictly increasing
+// edges (at least two).
+func NewVarHistogram(edges []float64) *VarHistogram {
+	if len(edges) < 2 {
+		panic("stats: VarHistogram needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			panic(fmt.Sprintf("stats: VarHistogram edges not increasing at %d", i))
+		}
+	}
+	e := append([]float64(nil), edges...)
+	return &VarHistogram{edges: e, counts: make([]float64, len(e)-1), sumX: make([]float64, len(e)-1)}
+}
+
+// Bins returns the number of bins.
+func (h *VarHistogram) Bins() int { return len(h.counts) }
+
+// AddWeighted adds weight w at value x.
+func (h *VarHistogram) AddWeighted(x, w float64) {
+	// sort.SearchFloat64s finds the first edge > x when we nudge x up;
+	// simpler: find rightmost edge <= x.
+	i := sort.SearchFloat64s(h.edges, x)
+	if i < len(h.edges) && h.edges[i] == x {
+		// x exactly on an edge belongs to the bin starting at that edge.
+	} else {
+		i--
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i] += w
+	h.sumX[i] += w * x
+	h.total += w
+}
+
+// Add adds a unit-weight observation.
+func (h *VarHistogram) Add(x float64) { h.AddWeighted(x, 1) }
+
+// Total returns the accumulated weight.
+func (h *VarHistogram) Total() float64 { return h.total }
+
+// Count returns the weight in bin i.
+func (h *VarHistogram) Count(i int) float64 { return h.counts[i] }
+
+// MeanAt returns the weighted mean of the values that landed in bin i, or
+// the bin midpoint when the bin is empty (2x the lower edge for an open
+// last bin). Exact per-bin means matter for open-ended bins, where the
+// midpoint is undefined.
+func (h *VarHistogram) MeanAt(i int) float64 {
+	if h.counts[i] > 0 {
+		return h.sumX[i] / h.counts[i]
+	}
+	lo, hi := h.edges[i], h.edges[i+1]
+	if math.IsInf(hi, 1) {
+		return 2 * lo
+	}
+	return (lo + hi) / 2
+}
+
+// Fractions returns per-bin weight over total (zeros when empty).
+func (h *VarHistogram) Fractions() []float64 {
+	f := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return f
+	}
+	for i, c := range h.counts {
+		f[i] = c / h.total
+	}
+	return f
+}
+
+// Label formats bin i as "lo-hi", or ">lo" when hi is +Inf.
+func (h *VarHistogram) Label(i int) string {
+	lo, hi := h.edges[i], h.edges[i+1]
+	if math.IsInf(hi, 1) {
+		return fmt.Sprintf(">%g", lo)
+	}
+	return fmt.Sprintf("%g-%g", lo, hi)
+}
+
+// FractionBelow returns the fraction of total weight in bins whose upper
+// edge is <= x.
+func (h *VarHistogram) FractionBelow(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var s float64
+	for i := range h.counts {
+		if h.edges[i+1] <= x {
+			s += h.counts[i]
+		}
+	}
+	return s / h.total
+}
+
+// Merge adds a compatible histogram bin-wise.
+func (h *VarHistogram) Merge(o *VarHistogram) error {
+	if len(o.edges) != len(h.edges) {
+		return fmt.Errorf("stats: incompatible VarHistogram merge")
+	}
+	for i, e := range h.edges {
+		if o.edges[i] != e {
+			return fmt.Errorf("stats: incompatible VarHistogram edges")
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+		h.sumX[i] += o.sumX[i]
+	}
+	h.total += o.total
+	return nil
+}

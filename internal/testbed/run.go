@@ -1,0 +1,223 @@
+package testbed
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"insomnia/internal/bh2"
+	"insomnia/internal/stats"
+	"insomnia/internal/trace"
+)
+
+// Config describes one live experiment (defaults follow §5.3).
+type Config struct {
+	Gateways int     // 9 in the paper's Fig 12 run
+	MaxAssoc int     // association limit per terminal (3 in the paper)
+	Duration float64 // virtual seconds (1800 = the 30-minute window)
+
+	IdleTimeout float64 // virtual seconds (60)
+	WakeDelay   float64 // virtual seconds (60)
+
+	TimeScale float64 // wall seconds per virtual second (e.g. 0.002 in tests)
+	UseBH2    bool    // false = plain SoI
+	BH2       bh2.Params
+	Seed      int64
+
+	// Schedule[i][s] is the bytes terminal i must push during virtual
+	// second s. Nil = generate a peak-hour replay via GenerateSchedule.
+	Schedule [][]int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gateways == 0 {
+		c.Gateways = 9
+	}
+	if c.MaxAssoc == 0 {
+		c.MaxAssoc = 3
+	}
+	if c.Duration == 0 {
+		c.Duration = 1800
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60
+	}
+	if c.WakeDelay == 0 {
+		c.WakeDelay = 60
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 0.002
+	}
+	if c.BH2.PeriodSec == 0 {
+		c.BH2 = bh2.DefaultParams()
+	}
+	return c
+}
+
+// Result is a Fig 12 series plus summary statistics.
+type Result struct {
+	OnlineSeries  []int // online APs sampled each virtual second
+	MeanOnline    float64
+	MeanSleeping  float64
+	OnTimes       []float64 // per gateway, virtual seconds
+	Wakeups       int
+	Moves         int
+	TrafficErrors int
+}
+
+// GenerateSchedule builds a per-terminal per-second byte replay from the
+// synthetic trace generator: each terminal replays the clients of one AP of
+// a peak-hour office trace, as the paper replayed the CRAWDAD APs.
+func GenerateSchedule(terminals int, duration float64, seed int64) ([][]int64, error) {
+	var busy trace.Profile
+	for i := range busy {
+		busy[i] = 0.45 // peak-hour activity level
+	}
+	cfg := trace.Config{
+		Clients: terminals * 4, APs: terminals, Profile: busy,
+		Duration: duration, Seed: seed,
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, terminals)
+	secs := int(duration)
+	for i := range out {
+		out[i] = make([]int64, secs)
+	}
+	rate := cfg.BackhaulBps
+	if rate == 0 {
+		rate = trace.DefaultBackhaulBps
+	}
+	for _, f := range tr.Flows {
+		if f.Up {
+			continue
+		}
+		term := tr.ClientAP[f.Client]
+		bps := trace.DefaultBackhaulBps
+		if f.Rate > 0 && f.Rate < bps {
+			bps = f.Rate
+		}
+		// Spread the flow's bytes over its nominal duration.
+		rem := f.Bytes
+		for s := int(f.Start); s < secs && rem > 0; s++ {
+			chunk := int64(bps / 8)
+			if chunk > rem {
+				chunk = rem
+			}
+			out[term][s] += chunk
+			rem -= chunk
+		}
+	}
+	for _, k := range tr.Keepalives {
+		term := tr.ClientAP[k.Client]
+		if s := int(k.T); s < secs {
+			out[term][s] += int64(k.Bytes)
+		}
+	}
+	return out, nil
+}
+
+// Run executes one live experiment end to end: starts the server, spawns
+// the terminals, replays the schedule and samples the online count.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Schedule == nil {
+		sched, err := GenerateSchedule(cfg.Gateways, cfg.Duration, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Schedule = sched
+	}
+	if len(cfg.Schedule) != cfg.Gateways {
+		return nil, fmt.Errorf("testbed: schedule for %d terminals, want %d", len(cfg.Schedule), cfg.Gateways)
+	}
+
+	start := time.Now()
+	clock := func() float64 { return time.Since(start).Seconds() / cfg.TimeScale }
+
+	srv := NewServer(cfg.Gateways, cfg.IdleTimeout, cfg.WakeDelay, clock)
+	base, err := srv.Start()
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	// Ring neighbourhoods of MaxAssoc gateways (the paper's terminals could
+	// associate with at most 3).
+	terms := make([]*Terminal, cfg.Gateways)
+	for i := range terms {
+		inRange := []int{i}
+		for d := 1; len(inRange) < cfg.MaxAssoc && d <= cfg.Gateways/2; d++ {
+			inRange = append(inRange, (i+d)%cfg.Gateways)
+			if len(inRange) < cfg.MaxAssoc {
+				inRange = append(inRange, (i-d+cfg.Gateways)%cfg.Gateways)
+			}
+		}
+		terms[i] = NewTerminal(i, i, inRange, cfg.UseBH2, cfg.BH2, trace.DefaultBackhaulBps, base, cfg.Seed)
+	}
+
+	res := &Result{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	secs := int(cfg.Duration)
+
+	for _, term := range terms {
+		wg.Add(1)
+		go func(t *Terminal) {
+			defer wg.Done()
+			sched := cfg.Schedule[t.ID]
+			for s := 0; s < secs; s++ {
+				// Pace to virtual time.
+				target := start.Add(time.Duration(float64(s) * cfg.TimeScale * float64(time.Second)))
+				if d := time.Until(target); d > 0 {
+					time.Sleep(d)
+				}
+				var due int64
+				if s < len(sched) {
+					due = sched[s]
+				}
+				if err := t.Tick(clock(), due); err != nil {
+					mu.Lock()
+					res.TrafficErrors++
+					mu.Unlock()
+				}
+			}
+		}(term)
+	}
+
+	// Sampler: one reading per virtual second.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := 0; s < secs; s++ {
+			target := start.Add(time.Duration((float64(s) + 0.5) * cfg.TimeScale * float64(time.Second)))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+			n := srv.OnlineCount()
+			mu.Lock()
+			res.OnlineSeries = append(res.OnlineSeries, n)
+			mu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+
+	var w stats.Welford
+	// Skip the first 2 minutes as warm-up, as Fig 12 starts at minute 2.
+	for i, n := range res.OnlineSeries {
+		if i >= 120 {
+			w.Add(float64(n))
+		}
+	}
+	res.MeanOnline = w.Mean()
+	res.MeanSleeping = float64(cfg.Gateways) - res.MeanOnline
+	res.OnTimes = srv.OnTimes()
+	res.Wakeups = srv.Wakeups()
+	for _, t := range terms {
+		res.Moves += t.Moves
+	}
+	return res, nil
+}

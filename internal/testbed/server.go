@@ -1,0 +1,278 @@
+// Package testbed reproduces the paper's live deployment (§5.3, Figs 11-12)
+// over real sockets: BH² terminals talk HTTP to a central status server that
+// emulates gateway sleep states — exactly the role the paper's "script
+// running in a central server" played, since their commercial gateways had
+// no SoI either.
+//
+// The pieces:
+//
+//   - Server: an HTTP server tracking per-gateway SoI state (on / waking /
+//     sleeping), data-frame sequence counters for passive load estimation,
+//     and an idle timeout per gateway. Terminals POST traffic and wake
+//     requests and GET observations.
+//   - Terminal: one goroutine per line owner, replaying a traffic schedule
+//     through its currently selected gateway, observing in-range gateways
+//     each second and running the same bh2.Decide the simulator uses.
+//   - Run: wires N gateways and N terminals (paper: 9-10), with the
+//     association limit of 3 gateways the paper's hardware imposed, and
+//     samples the number of online APs — the Fig 12 series.
+//
+// Virtual time runs at cfg.TimeScale wall-seconds per virtual second so a
+// 30-minute experiment replays in seconds during tests.
+package testbed
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"insomnia/internal/power"
+	"insomnia/internal/wifi"
+)
+
+// GatewayState mirrors power.State over the wire.
+type GatewayState string
+
+// Wire states.
+const (
+	StateOn       GatewayState = "on"
+	StateWaking   GatewayState = "waking"
+	StateSleeping GatewayState = "sleeping"
+)
+
+// Observation is what a terminal learns about one gateway per monitor
+// slice: its beacon presence and current data-frame sequence number.
+type Observation struct {
+	GW    int          `json:"gw"`
+	State GatewayState `json:"state"`
+	SN    uint16       `json:"sn"`
+}
+
+// gatewayRec is the server-side record of one emulated gateway.
+type gatewayRec struct {
+	state        GatewayState
+	lastActivity float64 // virtual seconds
+	wakeAt       float64
+	sn           wifi.SeqCounter
+	onTime       float64 // accumulated online (non-sleeping) virtual time
+	lastChange   float64
+	wakeups      int
+}
+
+// Server emulates the sleep state of a set of gateways.
+type Server struct {
+	IdleTimeout float64 // virtual seconds
+	WakeDelay   float64
+
+	clock func() float64 // virtual time source
+
+	mu  sync.Mutex
+	gws []*gatewayRec
+
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer creates a status server for n gateways, all initially on.
+func NewServer(n int, idleTimeout, wakeDelay float64, clock func() float64) *Server {
+	s := &Server{IdleTimeout: idleTimeout, WakeDelay: wakeDelay, clock: clock}
+	for i := 0; i < n; i++ {
+		s.gws = append(s.gws, &gatewayRec{state: StateOn})
+	}
+	return s
+}
+
+// advanceLocked applies due transitions for gateway g at virtual time now.
+func (s *Server) advanceLocked(g *gatewayRec, now float64) {
+	for {
+		switch g.state {
+		case StateWaking:
+			if g.wakeAt <= now {
+				g.onTime += 0 // waking time already counted below
+				g.state = StateOn
+				if g.wakeAt > g.lastActivity {
+					g.lastActivity = g.wakeAt
+				}
+				continue
+			}
+		case StateOn:
+			if g.lastActivity+s.IdleTimeout <= now {
+				g.onTime += g.lastActivity + s.IdleTimeout - g.lastChange
+				g.lastChange = g.lastActivity + s.IdleTimeout
+				g.state = StateSleeping
+				continue
+			}
+		}
+		break
+	}
+	if g.state != StateSleeping {
+		g.onTime += now - g.lastChange
+	}
+	g.lastChange = now
+}
+
+// Traffic records bytes sent through gateway gw; returns false if the
+// gateway is sleeping (traffic lost — the terminal should not have sent it).
+func (s *Server) Traffic(gw int, bytes int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	g := s.gws[gw]
+	s.advanceLocked(g, now)
+	if g.state == StateSleeping {
+		return false
+	}
+	if now > g.lastActivity {
+		g.lastActivity = now
+	}
+	if g.state == StateOn {
+		g.sn.Advance(wifi.FramesFor(bytes))
+	}
+	return true
+}
+
+// Wake requests a wake-up of gateway gw (WoWLAN — only the owner may call
+// this; the server trusts callers as the paper's did).
+func (s *Server) Wake(gw int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	g := s.gws[gw]
+	s.advanceLocked(g, now)
+	if g.state == StateSleeping {
+		g.state = StateWaking
+		g.wakeAt = now + s.WakeDelay
+		g.lastActivity = now
+		g.wakeups++
+	}
+}
+
+// Observe returns the observation a terminal would make of gateway gw.
+// Sleeping gateways beacon nothing; the terminal only learns "no beacon".
+func (s *Server) Observe(gw int) Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	g := s.gws[gw]
+	s.advanceLocked(g, now)
+	return Observation{GW: gw, State: g.state, SN: g.sn.Value()}
+}
+
+// OnlineCount returns how many gateways are not sleeping.
+func (s *Server) OnlineCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	n := 0
+	for _, g := range s.gws {
+		s.advanceLocked(g, now)
+		if g.state != StateSleeping {
+			n++
+		}
+	}
+	return n
+}
+
+// OnTimes returns cumulative online virtual seconds per gateway.
+func (s *Server) OnTimes() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	out := make([]float64, len(s.gws))
+	for i, g := range s.gws {
+		s.advanceLocked(g, now)
+		out[i] = g.onTime
+	}
+	return out
+}
+
+// Wakeups returns total wake transitions across gateways.
+func (s *Server) Wakeups() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, g := range s.gws {
+		n += g.wakeups
+	}
+	return n
+}
+
+// Start listens on 127.0.0.1:0 and serves the HTTP API. Returns the base
+// URL.
+func (s *Server) Start() (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /observe", func(w http.ResponseWriter, r *http.Request) {
+		gw, err := gwParam(r)
+		if err != nil || gw < 0 || gw >= len(s.gws) {
+			http.Error(w, "bad gw", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, s.Observe(gw))
+	})
+	mux.HandleFunc("POST /traffic", func(w http.ResponseWriter, r *http.Request) {
+		gw, err := gwParam(r)
+		if err != nil || gw < 0 || gw >= len(s.gws) {
+			http.Error(w, "bad gw", http.StatusBadRequest)
+			return
+		}
+		bytes, err := strconv.ParseInt(r.URL.Query().Get("bytes"), 10, 64)
+		if err != nil || bytes < 0 {
+			http.Error(w, "bad bytes", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]bool{"delivered": s.Traffic(gw, bytes)})
+	})
+	mux.HandleFunc("POST /wake", func(w http.ResponseWriter, r *http.Request) {
+		gw, err := gwParam(r)
+		if err != nil || gw < 0 || gw >= len(s.gws) {
+			http.Error(w, "bad gw", http.StatusBadRequest)
+			return
+		}
+		s.Wake(gw)
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /online", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]int{"online": s.OnlineCount()})
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("testbed: listen: %w", err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: mux}
+	go func() { _ = s.http.Serve(ln) }()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close shuts the HTTP server down.
+func (s *Server) Close() error {
+	if s.http != nil {
+		return s.http.Close()
+	}
+	return nil
+}
+
+func gwParam(r *http.Request) (int, error) {
+	return strconv.Atoi(r.URL.Query().Get("gw"))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// stateToPower maps wire states to power states (used by diagnostics).
+func stateToPower(st GatewayState) power.State {
+	switch st {
+	case StateOn:
+		return power.On
+	case StateWaking:
+		return power.Waking
+	default:
+		return power.Sleeping
+	}
+}

@@ -1,0 +1,194 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"insomnia/internal/power"
+)
+
+// manualClock gives tests full control of virtual time.
+type manualClock struct{ t float64 }
+
+func (c *manualClock) now() float64 { return c.t }
+
+func TestServerSoILifecycle(t *testing.T) {
+	clk := &manualClock{}
+	s := NewServer(2, 60, 60, clk.now)
+
+	// Initially on.
+	if got := s.Observe(0).State; got != StateOn {
+		t.Fatalf("initial state %v", got)
+	}
+	// Traffic keeps it awake; silence sleeps it after the timeout.
+	if !s.Traffic(0, 1500) {
+		t.Fatal("traffic rejected while on")
+	}
+	clk.t = 59
+	if got := s.Observe(0).State; got != StateOn {
+		t.Fatalf("slept early: %v", got)
+	}
+	clk.t = 61
+	if got := s.Observe(0).State; got != StateSleeping {
+		t.Fatalf("state at 61 = %v, want sleeping", got)
+	}
+	// Traffic to a sleeping gateway is not delivered.
+	if s.Traffic(0, 1500) {
+		t.Fatal("sleeping gateway accepted traffic")
+	}
+	// Wake takes WakeDelay.
+	s.Wake(0)
+	if got := s.Observe(0).State; got != StateWaking {
+		t.Fatalf("state after wake = %v", got)
+	}
+	clk.t = 122
+	if got := s.Observe(0).State; got != StateOn {
+		t.Fatalf("state after wake delay = %v", got)
+	}
+	if s.Wakeups() != 1 {
+		t.Fatalf("wakeups = %d", s.Wakeups())
+	}
+}
+
+func TestServerSNCountsFrames(t *testing.T) {
+	clk := &manualClock{}
+	s := NewServer(1, 600, 60, clk.now)
+	before := s.Observe(0).SN
+	s.Traffic(0, 4500) // 3 frames
+	after := s.Observe(0).SN
+	if d := int(after) - int(before); d != 3 {
+		t.Fatalf("SN delta = %d, want 3", d)
+	}
+}
+
+func TestServerOnTimes(t *testing.T) {
+	clk := &manualClock{}
+	s := NewServer(1, 60, 60, clk.now)
+	clk.t = 100 // sleeps at 60
+	ot := s.OnTimes()
+	if ot[0] < 59.9 || ot[0] > 60.1 {
+		t.Fatalf("onTime = %v, want 60", ot[0])
+	}
+}
+
+func TestStateToPower(t *testing.T) {
+	if stateToPower(StateOn) != power.On || stateToPower(StateWaking) != power.Waking || stateToPower(StateSleeping) != power.Sleeping {
+		t.Error("state mapping wrong")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	clk := &manualClock{}
+	s := NewServer(3, 60, 60, clk.now)
+	base, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := NewClient(base)
+	obs, err := c.Observe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.State != StateOn || obs.GW != 1 {
+		t.Fatalf("obs = %+v", obs)
+	}
+	ok, err := c.SendTraffic(1, 3000)
+	if err != nil || !ok {
+		t.Fatalf("traffic: %v %v", ok, err)
+	}
+	obs2, err := c.Observe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs2.SN == obs.SN {
+		t.Error("SN did not advance over HTTP")
+	}
+	n, err := c.Online()
+	if err != nil || n != 3 {
+		t.Fatalf("online = %d %v", n, err)
+	}
+	// Bad params rejected.
+	if _, err := c.Observe(99); err == nil {
+		t.Error("expected error for bad gateway id")
+	}
+}
+
+func TestGenerateSchedule(t *testing.T) {
+	sched, err := GenerateSchedule(9, 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 9 {
+		t.Fatalf("%d terminals", len(sched))
+	}
+	var total int64
+	for _, row := range sched {
+		if len(row) != 600 {
+			t.Fatalf("row length %d", len(row))
+		}
+		for _, b := range row {
+			if b < 0 {
+				t.Fatal("negative bytes")
+			}
+			total += b
+		}
+	}
+	if total == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+// The Fig 12 experiment in miniature: run SoI and BH2 over real sockets at
+// high time compression and check the paper's ordering — BH2 keeps fewer
+// APs online than SoI.
+func TestLiveExperimentBH2BeatsSoI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live testbed run")
+	}
+	run := func(useBH2 bool) *Result {
+		res, err := Run(Config{
+			Gateways: 9, Duration: 600, TimeScale: 0.004,
+			UseBH2: useBH2, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	soi := run(false)
+	bh := run(true)
+	if len(soi.OnlineSeries) == 0 || len(bh.OnlineSeries) == 0 {
+		t.Fatal("no samples")
+	}
+	if soi.TrafficErrors > 50 || bh.TrafficErrors > 50 {
+		t.Fatalf("too many traffic errors: %d / %d", soi.TrafficErrors, bh.TrafficErrors)
+	}
+	if bh.Moves == 0 {
+		t.Error("BH2 terminals never moved")
+	}
+	if bh.MeanOnline >= soi.MeanOnline {
+		t.Errorf("BH2 online %.2f >= SoI %.2f; expected fewer online APs", bh.MeanOnline, soi.MeanOnline)
+	}
+	t.Logf("SoI online %.2f, BH2 online %.2f (paper: 5.28 vs 3.54 of 9)", soi.MeanOnline, bh.MeanOnline)
+}
+
+func TestRunValidatesSchedule(t *testing.T) {
+	_, err := Run(Config{Gateways: 4, Duration: 10, TimeScale: 0.001, Schedule: make([][]int64, 2)})
+	if err == nil {
+		t.Error("expected schedule size error")
+	}
+}
+
+func TestVirtualClockPacing(t *testing.T) {
+	// A tiny run completes in roughly Duration*TimeScale wall time.
+	start := time.Now()
+	_, err := Run(Config{Gateways: 3, Duration: 50, TimeScale: 0.002, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Errorf("run took %v, expected well under 5s", wall)
+	}
+}

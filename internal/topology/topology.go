@@ -1,0 +1,578 @@
+// Package topology generates the wireless overlap topologies of §5.1: which
+// gateways each client can reach over the air, and at what rate.
+//
+// Two generators are provided, matching the paper's two experiments:
+//
+//   - OverlapGraph: a random connected simple graph over gateways with a
+//     prescribed degree sequence (the method of Viger & Latapy used by the
+//     paper), from which a client's in-range set is its home gateway plus
+//     the home's neighbours. Mean in-range count defaults to 5.6 networks.
+//   - Binomial: per-client independent membership with a target mean number
+//     of available gateways (the Fig 10 density sweep).
+//
+// Wireless rates follow §5.1: 12 Mbps to the home gateway and half of that
+// (6 Mbps) to adjacent gateways, per the Mark-and-Sweep measurements.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"insomnia/internal/stats"
+)
+
+// Default wireless capacities (§5.1).
+const (
+	DefaultHomeBps     = 12e6
+	DefaultNeighborBps = 6e6
+	// DefaultMeanInRange is the average number of networks in range of a
+	// client, including its home network (§5.1, consistent with [39]).
+	DefaultMeanInRange = 5.6
+)
+
+// Topology describes client-gateway reachability.
+type Topology struct {
+	NumGateways int
+	HomeOf      []int   // per-client home gateway
+	ranges      [][]int // per-client in-range gateways; element 0 is home
+	HomeBps     float64
+	NeighborBps float64
+}
+
+// InRange returns the gateways client c can reach, home first. The returned
+// slice is shared; treat it as read-only.
+func (t *Topology) InRange(c int) []int { return t.ranges[c] }
+
+// NumClients returns the number of clients.
+func (t *Topology) NumClients() int { return len(t.HomeOf) }
+
+// LinkBps returns the maximum wireless rate between client c and gateway g:
+// HomeBps for the home gateway, NeighborBps for other in-range gateways and
+// 0 when out of range.
+func (t *Topology) LinkBps(c, g int) float64 {
+	if t.HomeOf[c] == g {
+		return t.HomeBps
+	}
+	for _, x := range t.ranges[c][1:] {
+		if x == g {
+			return t.NeighborBps
+		}
+	}
+	return 0
+}
+
+// MeanInRange returns the across-client average size of the in-range set.
+func (t *Topology) MeanInRange() float64 {
+	if len(t.ranges) == 0 {
+		return 0
+	}
+	var s int
+	for _, r := range t.ranges {
+		s += len(r)
+	}
+	return float64(s) / float64(len(t.ranges))
+}
+
+// Validate checks structural invariants.
+func (t *Topology) Validate() error {
+	if len(t.ranges) != len(t.HomeOf) {
+		return fmt.Errorf("topology: %d ranges for %d clients", len(t.ranges), len(t.HomeOf))
+	}
+	for c, home := range t.HomeOf {
+		if home < 0 || home >= t.NumGateways {
+			return fmt.Errorf("topology: client %d home %d out of range", c, home)
+		}
+		r := t.ranges[c]
+		if len(r) == 0 || r[0] != home {
+			return fmt.Errorf("topology: client %d range must start with home", c)
+		}
+		seen := map[int]bool{}
+		for _, g := range r {
+			if g < 0 || g >= t.NumGateways {
+				return fmt.Errorf("topology: client %d reaches invalid gateway %d", c, g)
+			}
+			if seen[g] {
+				return fmt.Errorf("topology: client %d duplicate gateway %d", c, g)
+			}
+			seen[g] = true
+		}
+	}
+	return nil
+}
+
+// Graph is an undirected simple graph over gateways given as adjacency
+// lists.
+type Graph struct {
+	Adj [][]int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.Adj) }
+
+// MeanDegree returns the average vertex degree.
+func (g *Graph) MeanDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	var s int
+	for _, a := range g.Adj {
+		s += len(a)
+	}
+	return float64(s) / float64(g.N())
+}
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	seen := make([]bool, g.N())
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.N()
+}
+
+// hasEdge reports whether {u,v} is an edge.
+func (g *Graph) hasEdge(u, v int) bool {
+	for _, w := range g.Adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) addEdge(u, v int) {
+	g.Adj[u] = append(g.Adj[u], v)
+	g.Adj[v] = append(g.Adj[v], u)
+}
+
+func (g *Graph) removeEdge(u, v int) {
+	g.Adj[u] = removeOne(g.Adj[u], v)
+	g.Adj[v] = removeOne(g.Adj[v], u)
+}
+
+func removeOne(s []int, x int) []int {
+	for i, v := range s {
+		if v == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Graphical reports whether the degree sequence is realizable as a simple
+// graph (Erdős–Gallai).
+func Graphical(deg []int) bool {
+	d := append([]int(nil), deg...)
+	sort.Sort(sort.Reverse(sort.IntSlice(d)))
+	var sum int
+	for _, x := range d {
+		if x < 0 {
+			return false
+		}
+		sum += x
+	}
+	if sum%2 != 0 {
+		return false
+	}
+	// prefix[k] = sum of the k largest degrees.
+	for k := 1; k <= len(d); k++ {
+		var lhs int
+		for i := 0; i < k; i++ {
+			lhs += d[i]
+		}
+		rhs := k * (k - 1)
+		for i := k; i < len(d); i++ {
+			if d[i] < k {
+				rhs += d[i]
+			} else {
+				rhs += k
+			}
+		}
+		if lhs > rhs {
+			return false
+		}
+	}
+	return true
+}
+
+// havelHakimi realizes a graphical degree sequence as a simple graph.
+func havelHakimi(deg []int) (*Graph, error) {
+	n := len(deg)
+	g := &Graph{Adj: make([][]int, n)}
+	type vd struct{ v, d int }
+	rem := make([]vd, n)
+	for i, d := range deg {
+		rem[i] = vd{i, d}
+	}
+	for {
+		sort.Slice(rem, func(i, j int) bool { return rem[i].d > rem[j].d })
+		if rem[0].d == 0 {
+			return g, nil
+		}
+		head := rem[0]
+		if head.d > len(rem)-1 {
+			return nil, fmt.Errorf("topology: degree %d too large for %d peers", head.d, len(rem)-1)
+		}
+		rem[0].d = 0
+		for i := 1; i <= head.d; i++ {
+			if rem[i].d == 0 {
+				return nil, fmt.Errorf("topology: sequence not graphical")
+			}
+			g.addEdge(head.v, rem[i].v)
+			rem[i].d--
+		}
+	}
+}
+
+// connectRepair makes g connected with degree-preserving double edge swaps
+// (the Viger–Latapy repair): take an edge (c,d) that lies on a cycle — so
+// removing it cannot split its component — and an edge (a,b) in a different
+// component, and replace them with (c,a),(d,b). The cycle component stays
+// connected and absorbs both halves of the other component.
+//
+// Whenever the graph is disconnected with degree sum >= 2(n-1), some
+// component contains a cycle, so progress is always possible; only the
+// simplicity constraint can make an individual attempt fail, hence the
+// retry loop.
+func connectRepair(g *Graph, r *rand.Rand) error {
+	for attempt := 0; attempt < 50*g.N()+200; attempt++ {
+		comps := components(g)
+		if len(comps) <= 1 {
+			return nil
+		}
+		ci := -1
+		var cyc edge
+		for i, comp := range comps {
+			if e, ok := cycleEdge(g, comp, r); ok {
+				ci, cyc = i, e
+				break
+			}
+		}
+		if ci < 0 {
+			return fmt.Errorf("topology: disconnected forest; degree sum below 2(n-1)?")
+		}
+		oi := r.Intn(len(comps) - 1)
+		if oi >= ci {
+			oi++
+		}
+		other := componentEdges(g, comps[oi])
+		if len(other) == 0 {
+			return fmt.Errorf("topology: component without edges; zero-degree vertex?")
+		}
+		b := other[r.Intn(len(other))]
+		// Try both pairings that merge the components.
+		type pairing struct{ x1, y1, x2, y2 int }
+		for _, p := range []pairing{
+			{cyc.u, b.u, cyc.v, b.v},
+			{cyc.u, b.v, cyc.v, b.u},
+		} {
+			if g.hasEdge(p.x1, p.y1) || g.hasEdge(p.x2, p.y2) {
+				continue
+			}
+			g.removeEdge(cyc.u, cyc.v)
+			g.removeEdge(b.u, b.v)
+			g.addEdge(p.x1, p.y1)
+			g.addEdge(p.x2, p.y2)
+			break
+		}
+	}
+	if !g.Connected() {
+		return fmt.Errorf("topology: connectivity repair did not converge")
+	}
+	return nil
+}
+
+// cycleEdge returns an edge of comp that lies on a cycle, found by peeling
+// degree-<=1 vertices until only the 2-core remains. Returns false when the
+// component is a tree.
+func cycleEdge(g *Graph, comp []int, r *rand.Rand) (edge, bool) {
+	deg := make(map[int]int, len(comp))
+	for _, v := range comp {
+		deg[v] = len(g.Adj[v])
+	}
+	var queue []int
+	for _, v := range comp {
+		if deg[v] <= 1 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if deg[v] == 0 {
+			continue
+		}
+		deg[v] = 0
+		for _, w := range g.Adj[v] {
+			if deg[w] > 0 {
+				deg[w]--
+				if deg[w] == 1 {
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	// Any edge between two surviving (2-core) vertices is on a cycle.
+	var core []int
+	for _, v := range comp {
+		if deg[v] >= 2 {
+			core = append(core, v)
+		}
+	}
+	r.Shuffle(len(core), func(i, j int) { core[i], core[j] = core[j], core[i] })
+	for _, u := range core {
+		for _, v := range g.Adj[u] {
+			if deg[v] >= 2 {
+				return edge{u, v}, true
+			}
+		}
+	}
+	return edge{}, false
+}
+
+type edge struct{ u, v int }
+
+func components(g *Graph) [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.Adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func componentEdges(g *Graph, comp []int) []edge {
+	var out []edge
+	for _, u := range comp {
+		for _, v := range g.Adj[u] {
+			if u < v {
+				out = append(out, edge{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// shuffleEdges applies degree-preserving connected double edge swaps to
+// randomize the graph (the MCMC phase of Viger–Latapy). Swaps that would
+// break simplicity or connectivity are reverted.
+func shuffleEdges(g *Graph, r *rand.Rand, steps int) {
+	var edges []edge
+	for u := range g.Adj {
+		for _, v := range g.Adj[u] {
+			if u < v {
+				edges = append(edges, edge{u, v})
+			}
+		}
+	}
+	if len(edges) < 2 {
+		return
+	}
+	for s := 0; s < steps; s++ {
+		i, j := r.Intn(len(edges)), r.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		a, b := edges[i], edges[j]
+		if a.u == b.u || a.u == b.v || a.v == b.u || a.v == b.v {
+			continue
+		}
+		if g.hasEdge(a.u, b.v) || g.hasEdge(b.u, a.v) {
+			continue
+		}
+		g.removeEdge(a.u, a.v)
+		g.removeEdge(b.u, b.v)
+		g.addEdge(a.u, b.v)
+		g.addEdge(b.u, a.v)
+		if g.Connected() {
+			edges[i] = edge{a.u, b.v}
+			edges[j] = edge{b.u, a.v}
+		} else {
+			g.removeEdge(a.u, b.v)
+			g.removeEdge(b.u, a.v)
+			g.addEdge(a.u, a.v)
+			g.addEdge(b.u, b.v)
+		}
+	}
+}
+
+// OverlapGraph builds a random connected simple gateway graph whose mean
+// degree is meanInRange-1 (a client's in-range set is home + neighbours).
+// Degrees are drawn from a clamped Poisson-like distribution with minimum 1
+// and then adjusted to be graphical and even-summed.
+func OverlapGraph(n int, meanInRange float64, seed int64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 gateways, got %d", n)
+	}
+	meanDeg := meanInRange - 1
+	if meanDeg < 1 {
+		meanDeg = 1
+	}
+	if meanDeg > float64(n-1) {
+		meanDeg = float64(n - 1)
+	}
+	r := stats.NewRNG(seed, 0x70b0)
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = poissonClamped(r, meanDeg, 1, n-1)
+	}
+	// A connected simple graph needs at least n-1 edges, i.e. degree sum
+	// >= 2(n-1); bump random vertices until that holds (Viger–Latapy's
+	// precondition for a connected realization to exist).
+	var sum int
+	for _, d := range deg {
+		sum += d
+	}
+	for sum < 2*(n-1) {
+		i := r.Intn(n)
+		if deg[i] < n-1 {
+			deg[i]++
+			sum++
+		}
+	}
+	// Even sum: bump or trim a random vertex.
+	if sum%2 == 1 {
+		i := r.Intn(n)
+		if deg[i] < n-1 {
+			deg[i]++
+		} else {
+			deg[i]--
+		}
+	}
+	// Repair to graphical by trimming the largest degree until Erdős–Gallai
+	// holds (always terminates: all-ones or all-zeros is graphical).
+	for !Graphical(deg) {
+		iMax := 0
+		for i, d := range deg {
+			if d > deg[iMax] {
+				iMax = i
+			}
+		}
+		deg[iMax] -= 2
+		if deg[iMax] < 1 {
+			deg[iMax] = 1
+		}
+	}
+	g, err := havelHakimi(deg)
+	if err != nil {
+		return nil, err
+	}
+	if err := connectRepair(g, r); err != nil {
+		return nil, err
+	}
+	shuffleEdges(g, r, 10*n)
+	return g, nil
+}
+
+// poissonClamped draws a Poisson(mean) value clamped to [lo, hi] using
+// Knuth's method (fine for small means).
+func poissonClamped(r *rand.Rand, mean float64, lo, hi int) int {
+	limit := math.Exp(-mean)
+	prod := 1.0
+	for i := 0; i < 200; i++ {
+		prod *= r.Float64()
+		if prod < limit {
+			v := i
+			if v < lo {
+				v = lo
+			}
+			if v > hi {
+				v = hi
+			}
+			return v
+		}
+	}
+	return hi
+}
+
+// FromOverlap assembles a Topology from a gateway graph and a client home
+// assignment: each client reaches its home plus the home's neighbours.
+func FromOverlap(g *Graph, homeOf []int) (*Topology, error) {
+	t := &Topology{
+		NumGateways: g.N(), HomeOf: append([]int(nil), homeOf...),
+		HomeBps: DefaultHomeBps, NeighborBps: DefaultNeighborBps,
+	}
+	t.ranges = make([][]int, len(homeOf))
+	for c, home := range homeOf {
+		if home < 0 || home >= g.N() {
+			return nil, fmt.Errorf("topology: client %d home %d out of range", c, home)
+		}
+		rng := make([]int, 0, len(g.Adj[home])+1)
+		rng = append(rng, home)
+		rng = append(rng, g.Adj[home]...)
+		t.ranges[c] = rng
+	}
+	return t, t.Validate()
+}
+
+// Binomial builds the Fig 10 style topology: every client reaches its home
+// gateway, and independently each other gateway with probability chosen so
+// the mean in-range count is meanAvail (>= 1).
+func Binomial(nGateways int, homeOf []int, meanAvail float64, seed int64) (*Topology, error) {
+	if nGateways < 1 {
+		return nil, fmt.Errorf("topology: need gateways")
+	}
+	if meanAvail < 1 {
+		return nil, fmt.Errorf("topology: meanAvail must be >= 1, got %v", meanAvail)
+	}
+	p := 0.0
+	if nGateways > 1 {
+		p = (meanAvail - 1) / float64(nGateways-1)
+	}
+	if p > 1 {
+		p = 1
+	}
+	r := stats.NewRNG(seed, 0xb1f0)
+	t := &Topology{
+		NumGateways: nGateways, HomeOf: append([]int(nil), homeOf...),
+		HomeBps: DefaultHomeBps, NeighborBps: DefaultNeighborBps,
+	}
+	t.ranges = make([][]int, len(homeOf))
+	for c, home := range homeOf {
+		if home < 0 || home >= nGateways {
+			return nil, fmt.Errorf("topology: client %d home %d out of range", c, home)
+		}
+		rng := []int{home}
+		for g := 0; g < nGateways; g++ {
+			if g != home && r.Float64() < p {
+				rng = append(rng, g)
+			}
+		}
+		t.ranges[c] = rng
+	}
+	return t, t.Validate()
+}

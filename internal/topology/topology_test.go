@@ -1,0 +1,255 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"insomnia/internal/stats"
+)
+
+func TestGraphical(t *testing.T) {
+	cases := []struct {
+		deg  []int
+		want bool
+	}{
+		{[]int{}, true},
+		{[]int{0}, true},
+		{[]int{1}, false},          // odd sum
+		{[]int{1, 1}, true},        // one edge
+		{[]int{2, 2, 2}, true},     // triangle
+		{[]int{3, 3, 3, 3}, true},  // K4
+		{[]int{3, 1, 1, 1}, true},  // star
+		{[]int{4, 1, 1, 1}, false}, // degree too high
+		{[]int{-1, 1}, false},
+		{[]int{5, 5, 4, 3, 2, 1}, false}, // EG fails at k=2
+		{[]int{3, 3, 2, 2, 1, 1}, true},
+		{[]int{6, 5, 4, 3, 2, 1}, false}, // sum odd? 21 odd -> false
+	}
+	for _, c := range cases {
+		if got := Graphical(c.deg); got != c.want {
+			t.Errorf("Graphical(%v) = %v, want %v", c.deg, got, c.want)
+		}
+	}
+}
+
+func TestOverlapGraphProperties(t *testing.T) {
+	for _, n := range []int{5, 40, 100} {
+		g, err := OverlapGraph(n, DefaultMeanInRange, 7)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.N() != n {
+			t.Fatalf("n=%d: got %d vertices", n, g.N())
+		}
+		if !g.Connected() {
+			t.Errorf("n=%d: not connected", n)
+		}
+		// Simple graph: no self loops, no duplicate edges.
+		for u, adj := range g.Adj {
+			seen := map[int]bool{}
+			for _, v := range adj {
+				if v == u {
+					t.Errorf("n=%d: self loop at %d", n, u)
+				}
+				if seen[v] {
+					t.Errorf("n=%d: duplicate edge %d-%d", n, u, v)
+				}
+				seen[v] = true
+				// Symmetry.
+				if !g.hasEdge(v, u) {
+					t.Errorf("n=%d: asymmetric edge %d-%d", n, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestOverlapGraphMeanDegree(t *testing.T) {
+	g, err := OverlapGraph(200, 5.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := g.MeanDegree()
+	if md < 3.6 || md > 5.6 { // target 4.6
+		t.Errorf("mean degree = %v, want ~4.6", md)
+	}
+}
+
+func TestOverlapGraphDeterministic(t *testing.T) {
+	a, err := OverlapGraph(40, 5.6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OverlapGraph(40, 5.6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Adj {
+		if len(a.Adj[u]) != len(b.Adj[u]) {
+			t.Fatalf("vertex %d degree differs", u)
+		}
+		for i := range a.Adj[u] {
+			if a.Adj[u][i] != b.Adj[u][i] {
+				t.Fatalf("vertex %d adjacency differs", u)
+			}
+		}
+	}
+}
+
+func TestOverlapGraphRejectsTiny(t *testing.T) {
+	if _, err := OverlapGraph(1, 5.6, 1); err == nil {
+		t.Error("expected error for n=1")
+	}
+}
+
+func TestFromOverlap(t *testing.T) {
+	g, err := OverlapGraph(40, 5.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeOf := make([]int, 272)
+	for i := range homeOf {
+		homeOf[i] = i % 40
+	}
+	tp, err := FromOverlap(g, homeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := tp.MeanInRange()
+	if m < 4.0 || m > 7.0 {
+		t.Errorf("mean in range = %v, want ~5.6", m)
+	}
+	// Link rates.
+	c := 0
+	if got := tp.LinkBps(c, tp.HomeOf[c]); got != DefaultHomeBps {
+		t.Errorf("home rate = %v", got)
+	}
+	rng := tp.InRange(c)
+	if len(rng) > 1 {
+		if got := tp.LinkBps(c, rng[1]); got != DefaultNeighborBps {
+			t.Errorf("neighbor rate = %v", got)
+		}
+	}
+	// A gateway not in range: find one.
+	inRange := map[int]bool{}
+	for _, gw := range rng {
+		inRange[gw] = true
+	}
+	for gw := 0; gw < 40; gw++ {
+		if !inRange[gw] {
+			if got := tp.LinkBps(c, gw); got != 0 {
+				t.Errorf("out-of-range rate = %v, want 0", got)
+			}
+			break
+		}
+	}
+}
+
+func TestFromOverlapBadHome(t *testing.T) {
+	g, err := OverlapGraph(5, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromOverlap(g, []int{99}); err == nil {
+		t.Error("expected error for invalid home")
+	}
+}
+
+func TestBinomialMeanAvail(t *testing.T) {
+	homeOf := make([]int, 2000)
+	for i := range homeOf {
+		homeOf[i] = i % 40
+	}
+	for _, mean := range []float64{1, 2, 5.6, 10} {
+		tp, err := Binomial(40, homeOf, mean, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tp.MeanInRange()
+		if math.Abs(got-mean) > 0.35 {
+			t.Errorf("meanAvail=%v: got %v", mean, got)
+		}
+		if err := tp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBinomialDensityOne(t *testing.T) {
+	homeOf := []int{0, 1, 2, 3}
+	tp, err := Binomial(4, homeOf, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range homeOf {
+		if len(tp.InRange(c)) != 1 {
+			t.Errorf("client %d should only reach home, got %v", c, tp.InRange(c))
+		}
+	}
+}
+
+func TestBinomialRejectsBadArgs(t *testing.T) {
+	if _, err := Binomial(0, nil, 2, 1); err == nil {
+		t.Error("expected error for zero gateways")
+	}
+	if _, err := Binomial(4, []int{0}, 0.5, 1); err == nil {
+		t.Error("expected error for meanAvail < 1")
+	}
+	if _, err := Binomial(4, []int{9}, 2, 1); err == nil {
+		t.Error("expected error for bad home")
+	}
+}
+
+// Property: Havel-Hakimi + repair realizes any graphical sequence we feed
+// through OverlapGraph with exact vertex count, connectivity and simplicity.
+func TestOverlapGraphPropertyRandomSizes(t *testing.T) {
+	f := func(seed int64, nRaw uint8, meanRaw uint8) bool {
+		n := 3 + int(nRaw%60)
+		mean := 1.5 + float64(meanRaw%8)
+		g, err := OverlapGraph(n, mean, seed)
+		if err != nil {
+			return false
+		}
+		if g.N() != n || !g.Connected() {
+			return false
+		}
+		for u, adj := range g.Adj {
+			seen := map[int]bool{}
+			for _, v := range adj {
+				if v == u || seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonClampedRange(t *testing.T) {
+	r := stats.NewRNG(1, 0)
+	for i := 0; i < 5000; i++ {
+		v := poissonClamped(r, 4.6, 1, 39)
+		if v < 1 || v > 39 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestPoissonClampedMean(t *testing.T) {
+	r := stats.NewRNG(2, 0)
+	var w stats.Welford
+	for i := 0; i < 20000; i++ {
+		w.Add(float64(poissonClamped(r, 4.6, 0, 1000)))
+	}
+	if math.Abs(w.Mean()-4.6) > 0.15 {
+		t.Errorf("mean = %v, want ~4.6", w.Mean())
+	}
+}

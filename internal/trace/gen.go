@@ -1,0 +1,392 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"insomnia/internal/stats"
+)
+
+// Config parameterizes the synthetic trace generator. Zero values are
+// replaced by defaults in Generate; see DefaultOfficeConfig and
+// DefaultResidentialConfig for the two calibrated scenarios of the paper.
+type Config struct {
+	Clients  int     // number of terminal devices
+	APs      int     // number of gateways / access points
+	Duration float64 // trace length in seconds (default Day)
+
+	BackhaulBps float64 // downlink access speed (default 6 Mbps)
+	UplinkBps   float64 // uplink access speed (default 512 kbps)
+
+	Profile Profile // time-of-day online fraction
+	Seed    int64   // RNG seed; same seed => identical trace
+
+	FlowsOnly bool // skip keepalive materialization (large-scale Fig 2 runs)
+	Uplink    bool // emit uplink flows too (residential scenario)
+
+	// Placement. Real client-AP association is skewed (lecture halls vs
+	// corner offices); ZipfS > 0 draws AP popularity from a Zipf law with
+	// that exponent. ZipfS == 0 places clients round-robin (balanced),
+	// which is what the paper's simulation scenario does ("we uniformly
+	// distribute the 272 clients over the 40 gateways").
+	ZipfS float64
+
+	// ClientWeightSigma adds per-client heterogeneity: each client's
+	// online propensity and traffic intensity are scaled by a lognormal
+	// factor with this sigma (mean 1). Zero means homogeneous clients.
+	ClientWeightSigma float64
+
+	// Traffic shape. Zero values take the calibrated defaults below.
+	SessionMeanSec float64 // mean online session length
+	FlowProb       float64 // probability an event epoch is a flow (vs keepalive)
+	ThinkMedianSec float64 // median of the lognormal think-time component
+	FlowBodyMedian float64 // lognormal median of typical web flows (bytes)
+	BigFlowProb    float64 // probability a flow is a large download
+
+	// StreamProb is the probability that an online session carries a
+	// rate-limited media stream (internet radio, 2007-era video) for its
+	// whole duration. Streams provide the sustained medium loads real
+	// traces exhibit between bursty transfers; NoStreams disables them.
+	StreamProb float64
+	NoStreams  bool
+}
+
+// Calibrated defaults shared by both scenarios; see the calibration tests,
+// which pin the generator to the paper's published statistics.
+const (
+	defSessionMean = 3600.0 // 1 h terminal sessions
+	defFlowProb    = 0.4
+	defThinkMedian = 7.0
+	defBodyMedian  = 80e3
+	defBigFlow     = 0.10
+
+	thinkSigma    = 1.0  // lognormal sigma of short think times
+	longGapProb   = 0.03 // probability of a heavy-tailed pause
+	longGapAlpha  = 1.15 // bounded Pareto shape of long pauses
+	longGapLo     = 20.0
+	longGapHi     = 600.0
+	flowBodySigma = 1.4  // lognormal sigma of web flow bodies
+	bigFlowAlpha  = 1.05 // bounded Pareto shape of large downloads
+	bigFlowLo     = 5e5  // 500 kB
+	bigFlowHi     = 8e6  // 8 MB: a single flow cannot saturate a 60 s window
+	keepaliveBase = 60   // bytes
+	keepaliveMean = 100.0
+	ackFraction   = 0.03 // uplink ACK volume per downlink flow
+	uploadProb    = 0.04 // probability a flow has a companion upload
+	uploadScale   = 0.5  // companion upload size factor
+
+	defStreamProb   = 0.15  // sessions carrying a media stream
+	streamRateMed   = 250e3 // lognormal median stream rate, bps (FLV-era video)
+	streamRateSigma = 0.5
+	streamRateMin   = 48e3
+	streamRateMax   = 500e3
+	streamChunkSec  = 240.0 // median media chunk (song / clip) length
+
+	// Engaged/quiet spells within a session: a user browses actively for a
+	// few minutes, then leaves the machine alone (reading, meetings) —
+	// silent at packet level, since 2007-era idle laptops sent next to
+	// nothing. These quiet stretches are what let plain SoI put some
+	// gateways to sleep even during working hours (Fig 10, density 1).
+	engagedMeanSec = 200.0
+	quietAlpha     = 1.15
+	quietLoSec     = 30.0
+	quietHiSec     = 240.0
+)
+
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = Day
+	}
+	if c.BackhaulBps == 0 {
+		c.BackhaulBps = DefaultBackhaulBps
+	}
+	if c.UplinkBps == 0 {
+		c.UplinkBps = 512e3
+	}
+	if c.SessionMeanSec == 0 {
+		c.SessionMeanSec = defSessionMean
+	}
+	if c.FlowProb == 0 {
+		c.FlowProb = defFlowProb
+	}
+	if c.ThinkMedianSec == 0 {
+		c.ThinkMedianSec = defThinkMedian
+	}
+	if c.FlowBodyMedian == 0 {
+		c.FlowBodyMedian = defBodyMedian
+	}
+	if c.BigFlowProb == 0 {
+		c.BigFlowProb = defBigFlow
+	}
+	if c.StreamProb == 0 && !c.NoStreams {
+		c.StreamProb = defStreamProb
+	}
+	if c.NoStreams {
+		c.StreamProb = 0
+	}
+	return c
+}
+
+// DefaultOfficeConfig is the UCSD-CSE-like scenario behind Figs 3 and 4:
+// 272 clients on 40 APs with 6 Mbps backhaul, downlink only, skewed
+// client-AP association as in a real building.
+func DefaultOfficeConfig(seed int64) Config {
+	return Config{
+		Clients: 272, APs: 40, Profile: OfficeProfile, Seed: seed,
+		ZipfS: 1.0, ClientWeightSigma: 0.6,
+	}
+}
+
+// DefaultSimConfig is the trace used by the §5 simulation scenario: same
+// traffic as the office trace but with the paper's uniform client placement.
+func DefaultSimConfig(seed int64) Config {
+	c := DefaultOfficeConfig(seed)
+	c.ZipfS = 0
+	return c
+}
+
+// DefaultResidentialConfig is the Fig 2 scenario scaled to n subscribers:
+// one client per gateway, evening-peak profile, heavier per-user traffic
+// (streaming/P2P era), strong across-subscriber skew, down+uplink.
+func DefaultResidentialConfig(n int, seed int64) Config {
+	return Config{
+		Clients: n, APs: n, Profile: ResidentialProfile, Seed: seed,
+		Uplink: true, FlowsOnly: true,
+		ClientWeightSigma: 1.5,
+		SessionMeanSec:    5400,
+		FlowProb:          0.8,
+		ThinkMedianSec:    4,
+		FlowBodyMedian:    200e3,
+		BigFlowProb:       0.45,
+	}
+}
+
+// Generate synthesizes a trace from cfg. It is deterministic in cfg
+// (including Seed).
+func Generate(cfg Config) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Clients <= 0 || cfg.APs <= 0 {
+		return nil, fmt.Errorf("trace: need positive Clients and APs, got %d/%d", cfg.Clients, cfg.APs)
+	}
+	if cfg.Clients < cfg.APs {
+		return nil, fmt.Errorf("trace: fewer clients (%d) than APs (%d)", cfg.Clients, cfg.APs)
+	}
+	tr := &Trace{Cfg: cfg, ClientAP: make([]int, cfg.Clients)}
+
+	placeRNG := stats.NewRNG(cfg.Seed, 0x9a7e)
+	if cfg.ZipfS > 0 {
+		// Zipf AP popularity in a random AP order, but guarantee every AP
+		// at least one client so no gateway is structurally dead.
+		weights := make([]float64, cfg.APs)
+		order := placeRNG.Perm(cfg.APs)
+		for rank, ap := range order {
+			weights[ap] = 1 / math.Pow(float64(rank+1), cfg.ZipfS)
+		}
+		for c := 0; c < cfg.Clients; c++ {
+			if c < cfg.APs {
+				tr.ClientAP[c] = order[c]
+				continue
+			}
+			tr.ClientAP[c] = stats.WeightedChoice(placeRNG, weights)
+		}
+		placeRNG.Shuffle(cfg.Clients, func(i, j int) {
+			tr.ClientAP[i], tr.ClientAP[j] = tr.ClientAP[j], tr.ClientAP[i]
+		})
+	} else {
+		// Balanced round-robin over a shuffled client order.
+		perm := placeRNG.Perm(cfg.Clients)
+		for i, c := range perm {
+			tr.ClientAP[c] = i % cfg.APs
+		}
+	}
+
+	for c := 0; c < cfg.Clients; c++ {
+		r := stats.NewRNG(cfg.Seed, 0x1000+uint64(c))
+		w := 1.0
+		if cfg.ClientWeightSigma > 0 {
+			s := cfg.ClientWeightSigma
+			w = stats.Lognormal(r, -s*s/2, s) // mean 1
+		}
+		genClient(tr, int32(c), r, cfg, w)
+	}
+	sort.Slice(tr.Flows, func(i, j int) bool { return tr.Flows[i].Start < tr.Flows[j].Start })
+	sort.Slice(tr.Keepalives, func(i, j int) bool { return tr.Keepalives[i].T < tr.Keepalives[j].T })
+	return tr, nil
+}
+
+// genClient simulates one client's day: an on/off terminal-session process
+// whose stationary online fraction tracks weight*cfg.Profile, with event
+// epochs (flows or keepalives) during online periods.
+func genClient(tr *Trace, client int32, r *rand.Rand, cfg Config, weight float64) {
+	// Two-state Markov process with time-varying on-rate. Off->On rate
+	// r_on(t) = a(t) / (S * (1 - a(t))) gives stationary online fraction
+	// a(t) when On->Off rate is 1/S. Simulated by thinning at rMax.
+	S := cfg.SessionMeanSec
+	online := func(t float64) float64 {
+		a := cfg.Profile.At(t) * weight
+		if a > 0.98 {
+			a = 0.98
+		}
+		return a
+	}
+	aMax := cfg.Profile.Max() * weight
+	if aMax > 0.98 {
+		aMax = 0.98
+	}
+	rMax := aMax / (S * (1 - aMax))
+	onRate := func(t float64) float64 {
+		a := online(t)
+		return a / (S * (1 - a))
+	}
+
+	t := 0.0
+	isOn := r.Float64() < online(0)
+	var sessionEnd, spellEnd float64
+	engaged := true
+	if isOn {
+		sessionEnd = stats.Exp(r, S)
+		spellEnd = stats.Exp(r, engagedMeanSec)
+		maybeStream(tr, client, r, cfg, t, sessionEnd)
+	}
+	for t < cfg.Duration {
+		if !isOn {
+			for t < cfg.Duration {
+				t += stats.Exp(r, 1/rMax)
+				if r.Float64() < onRate(t)/rMax {
+					break
+				}
+			}
+			if t >= cfg.Duration {
+				return
+			}
+			isOn = true
+			sessionEnd = t + stats.Exp(r, S)
+			engaged = true
+			spellEnd = t + stats.Exp(r, engagedMeanSec)
+			maybeStream(tr, client, r, cfg, t, sessionEnd)
+			continue
+		}
+		if t >= spellEnd {
+			// Toggle between active browsing and packet-silent spells.
+			engaged = !engaged
+			if engaged {
+				spellEnd = t + stats.Exp(r, engagedMeanSec)
+			} else {
+				spellEnd = t + stats.Pareto(r, quietAlpha, quietLoSec, quietHiSec)
+			}
+		}
+		if !engaged {
+			// Jump silently to the end of the quiet spell (or session).
+			t = spellEnd
+			if t >= sessionEnd || t >= cfg.Duration {
+				t = sessionEnd
+				isOn = false
+			}
+			continue
+		}
+		t += thinkGap(r, cfg)
+		if t >= sessionEnd || t >= cfg.Duration {
+			t = sessionEnd
+			isOn = false
+			continue
+		}
+		if r.Float64() < cfg.FlowProb {
+			size := flowSize(r, cfg, weight)
+			tr.Flows = append(tr.Flows, Flow{Start: t, Client: client, Bytes: size})
+			if cfg.Uplink {
+				ack := int64(float64(size) * ackFraction)
+				if ack < 40 {
+					ack = 40
+				}
+				tr.Flows = append(tr.Flows, Flow{Start: t, Client: client, Bytes: ack, Up: true})
+				if r.Float64() < uploadProb {
+					up := int64(float64(flowSize(r, cfg, weight)) * uploadScale)
+					if up < 1000 {
+						up = 1000
+					}
+					tr.Flows = append(tr.Flows, Flow{Start: t, Client: client, Bytes: up, Up: true})
+				}
+			}
+		} else if !cfg.FlowsOnly {
+			b := keepaliveBase + int32(stats.Exp(r, keepaliveMean))
+			if b > 1400 {
+				b = 1400
+			}
+			tr.Keepalives = append(tr.Keepalives, Packet{T: t, Client: client, Bytes: b})
+		}
+	}
+}
+
+// maybeStream emits a rate-limited media stream spanning a session with
+// probability cfg.StreamProb. Media plays in chunks (songs, clips, video
+// segments of a few minutes), so the stream is a back-to-back sequence of
+// rate-capped flows: each chunk is new traffic and re-routes through the
+// terminal's current gateway — exactly how BH² migrates long-lived media
+// sessions without dropping flows (§5.1).
+func maybeStream(tr *Trace, client int32, r *rand.Rand, cfg Config, start, end float64) {
+	if r.Float64() >= cfg.StreamProb {
+		return
+	}
+	if end > cfg.Duration {
+		end = cfg.Duration
+	}
+	if end-start < 60 {
+		return // too short to bother tuning in
+	}
+	rate := stats.Lognormal(r, math.Log(streamRateMed), streamRateSigma)
+	if rate < streamRateMin {
+		rate = streamRateMin
+	}
+	if rate > streamRateMax {
+		rate = streamRateMax
+	}
+	for t := start; t < end; {
+		chunk := stats.Lognormal(r, math.Log(streamChunkSec), 0.4)
+		if t+chunk > end {
+			chunk = end - t
+		}
+		if chunk < 10 {
+			break
+		}
+		tr.Flows = append(tr.Flows, Flow{
+			Start: t, Client: client,
+			Bytes: int64(rate / 8 * chunk),
+			Rate:  rate,
+		})
+		t += chunk
+	}
+}
+
+// thinkGap draws one inter-event gap: mostly short lognormal think times
+// with an occasional heavy-tailed pause. The mixture is what produces the
+// Fig 4 idle-gap histogram: the bulk of idle time in sub-60 s gaps with a
+// 15-20% tail beyond 60 s.
+func thinkGap(r *rand.Rand, cfg Config) float64 {
+	if r.Float64() < longGapProb {
+		return stats.Pareto(r, longGapAlpha, longGapLo, longGapHi)
+	}
+	return stats.Lognormal(r, math.Log(cfg.ThinkMedianSec), thinkSigma)
+}
+
+// flowSize draws a flow size in bytes: lognormal web bodies with a bounded
+// Pareto tail of large downloads. The client weight scales the chance of a
+// heavy download, not the body size — heavy users are heavy because they
+// fetch more and bigger things, not because their pages differ.
+func flowSize(r *rand.Rand, cfg Config, weight float64) int64 {
+	bigP := cfg.BigFlowProb * weight
+	if bigP > 0.6 {
+		bigP = 0.6
+	}
+	var s float64
+	if r.Float64() < bigP {
+		s = stats.Pareto(r, bigFlowAlpha, bigFlowLo, bigFlowHi)
+	} else {
+		s = stats.Lognormal(r, math.Log(cfg.FlowBodyMedian), flowBodySigma)
+	}
+	if s < 200 {
+		s = 200
+	}
+	return int64(s)
+}

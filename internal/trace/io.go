@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Binary trace format:
+//
+//	magic "INSMTR2\n", then little-endian:
+//	clients, aps uint32; duration, backhaul, uplink float64;
+//	clientAP [clients]uint32; nFlows uint64; flows; nKeep uint64; keepalives.
+//
+// The generator Config's shape knobs are not serialized — a stored trace is
+// data, not a recipe.
+var binaryMagic = []byte("INSMTR2\n")
+
+// WriteBinary serializes the trace to w in the compact binary format.
+func (tr *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeErr := func(vals ...any) error {
+		for _, v := range vals {
+			if err := binary.Write(bw, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeErr(uint32(tr.Cfg.Clients), uint32(tr.Cfg.APs),
+		tr.Cfg.Duration, tr.Cfg.BackhaulBps, tr.Cfg.UplinkBps); err != nil {
+		return err
+	}
+	for _, ap := range tr.ClientAP {
+		if err := writeErr(uint32(ap)); err != nil {
+			return err
+		}
+	}
+	if err := writeErr(uint64(len(tr.Flows))); err != nil {
+		return err
+	}
+	for _, f := range tr.Flows {
+		up := uint8(0)
+		if f.Up {
+			up = 1
+		}
+		if err := writeErr(f.Start, f.Client, f.Bytes, f.Rate, up); err != nil {
+			return err
+		}
+	}
+	if err := writeErr(uint64(len(tr.Keepalives))); err != nil {
+		return err
+	}
+	for _, p := range tr.Keepalives {
+		if err := writeErr(p.T, p.Client, p.Bytes); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a trace written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != string(binaryMagic) {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	le := binary.LittleEndian
+	readErr := func(vals ...any) error {
+		for _, v := range vals {
+			if err := binary.Read(br, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var clients, aps uint32
+	tr := &Trace{}
+	if err := readErr(&clients, &aps, &tr.Cfg.Duration, &tr.Cfg.BackhaulBps, &tr.Cfg.UplinkBps); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	const maxEntities = 1 << 22
+	if clients == 0 || aps == 0 || clients > maxEntities || aps > maxEntities {
+		return nil, fmt.Errorf("trace: implausible header clients=%d aps=%d", clients, aps)
+	}
+	tr.Cfg.Clients, tr.Cfg.APs = int(clients), int(aps)
+	tr.ClientAP = make([]int, clients)
+	for i := range tr.ClientAP {
+		var ap uint32
+		if err := readErr(&ap); err != nil {
+			return nil, fmt.Errorf("trace: reading clientAP: %w", err)
+		}
+		tr.ClientAP[i] = int(ap)
+	}
+	var nFlows uint64
+	if err := readErr(&nFlows); err != nil {
+		return nil, err
+	}
+	const maxRecords = 1 << 30
+	if nFlows > maxRecords {
+		return nil, fmt.Errorf("trace: implausible flow count %d", nFlows)
+	}
+	// Grow incrementally rather than trusting the header's count with one
+	// giant allocation: a corrupt header must fail on EOF, not on OOM.
+	const chunk = 1 << 16
+	tr.Flows = make([]Flow, 0, min64(nFlows, chunk))
+	for i := uint64(0); i < nFlows; i++ {
+		var f Flow
+		var up uint8
+		if err := readErr(&f.Start, &f.Client, &f.Bytes, &f.Rate, &up); err != nil {
+			return nil, fmt.Errorf("trace: reading flow %d: %w", i, err)
+		}
+		f.Up = up != 0
+		tr.Flows = append(tr.Flows, f)
+	}
+	var nKeep uint64
+	if err := readErr(&nKeep); err != nil {
+		return nil, err
+	}
+	if nKeep > maxRecords {
+		return nil, fmt.Errorf("trace: implausible keepalive count %d", nKeep)
+	}
+	tr.Keepalives = make([]Packet, 0, min64(nKeep, chunk))
+	for i := uint64(0); i < nKeep; i++ {
+		var p Packet
+		if err := readErr(&p.T, &p.Client, &p.Bytes); err != nil {
+			return nil, fmt.Errorf("trace: reading keepalive %d: %w", i, err)
+		}
+		tr.Keepalives = append(tr.Keepalives, p)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ReadFlowsCSV parses flow records written by WriteFlowsCSV (or converted
+// from a real packet trace): header start,client,bytes,rate,up, one flow
+// per row. The caller supplies the static layout (clients, APs, client->AP
+// map) since a flow list alone does not carry it; the result is validated.
+//
+// This is the entry point for replaying real traces (e.g. CRAWDAD
+// conversions) through the simulator instead of the synthetic generator.
+func ReadFlowsCSV(rd io.Reader, cfg Config, clientAP []int) (*Trace, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	want := []string{"start", "client", "bytes", "rate", "up"}
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("trace: CSV header has %d columns, want %d", len(header), len(want))
+	}
+	for i, h := range want {
+		if header[i] != h {
+			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	tr := &Trace{Cfg: cfg.withDefaults(), ClientAP: append([]int(nil), clientAP...)}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		var f Flow
+		if f.Start, err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d start: %w", line, err)
+		}
+		c, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d client: %w", line, err)
+		}
+		f.Client = int32(c)
+		if f.Bytes, err = strconv.ParseInt(rec[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d bytes: %w", line, err)
+		}
+		if f.Rate, err = strconv.ParseFloat(rec[3], 64); err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d rate: %w", line, err)
+		}
+		if f.Up, err = strconv.ParseBool(rec[4]); err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d up: %w", line, err)
+		}
+		tr.Flows = append(tr.Flows, f)
+	}
+	sort.Slice(tr.Flows, func(i, j int) bool { return tr.Flows[i].Start < tr.Flows[j].Start })
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WriteFlowsCSV writes the flow records as CSV with a header row:
+// start,client,bytes,rate,up. Useful for external plotting.
+func (tr *Trace) WriteFlowsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start", "client", "bytes", "rate", "up"}); err != nil {
+		return err
+	}
+	rec := make([]string, 5)
+	for _, f := range tr.Flows {
+		rec[0] = strconv.FormatFloat(f.Start, 'f', 3, 64)
+		rec[1] = strconv.Itoa(int(f.Client))
+		rec[2] = strconv.FormatInt(f.Bytes, 10)
+		rec[3] = strconv.FormatFloat(f.Rate, 'f', 0, 64)
+		rec[4] = strconv.FormatBool(f.Up)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadFlowsCSVRoundTrip(t *testing.T) {
+	tr, err := Generate(Config{Clients: 12, APs: 3, Profile: OfficeProfile, Seed: 21, FlowsOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteFlowsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlowsCSV(&buf, tr.Cfg, tr.ClientAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Flows) != len(tr.Flows) {
+		t.Fatalf("%d flows, want %d", len(got.Flows), len(tr.Flows))
+	}
+	for i := range tr.Flows {
+		a, b := tr.Flows[i], got.Flows[i]
+		// CSV keeps 3 decimals of start time and whole-number rate.
+		if diff := a.Start - b.Start; diff > 0.001 || diff < -0.001 || a.Client != b.Client ||
+			a.Bytes != b.Bytes || a.Up != b.Up {
+			t.Fatalf("flow %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadFlowsCSVRejectsBadInput(t *testing.T) {
+	cfg := Config{Clients: 2, APs: 1}
+	clientAP := []int{0, 0}
+	cases := []string{
+		"",                            // no header
+		"wrong,header,entirely,x,y\n", // wrong names
+		"start,client,bytes,rate\n",   // missing column
+		"start,client,bytes,rate,up\nx,0,1,0,f\n",          // bad start
+		"start,client,bytes,rate,up\n1,zz,1,0,false\n",     // bad client
+		"start,client,bytes,rate,up\n1,0,zz,0,false\n",     // bad bytes
+		"start,client,bytes,rate,up\n1,0,10,zz,false\n",    // bad rate
+		"start,client,bytes,rate,up\n1,0,10,0,maybe\n",     // bad up
+		"start,client,bytes,rate,up\n1,9,10,0,false\n",     // client out of range
+		"start,client,bytes,rate,up\n1,0,-10,0,false\n",    // negative bytes
+		"start,client,bytes,rate,up\n1,0,10,-5,false\n",    // negative rate
+		"start,client,bytes,rate,up\n999999,0,1,0,false\n", // beyond duration
+	}
+	for i, in := range cases {
+		if _, err := ReadFlowsCSV(strings.NewReader(in), cfg, clientAP); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestReadFlowsCSVSortsByStart(t *testing.T) {
+	in := "start,client,bytes,rate,up\n5,0,10,0,false\n1,0,20,0,false\n"
+	tr, err := ReadFlowsCSV(strings.NewReader(in), Config{Clients: 1, APs: 1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Flows[0].Start != 1 || tr.Flows[1].Start != 5 {
+		t.Errorf("not sorted: %+v", tr.Flows)
+	}
+}
+
+// FuzzReadBinary hardens the binary decoder against corrupt input: it must
+// error or return a valid trace, never panic or over-allocate wildly.
+func FuzzReadBinary(f *testing.F) {
+	tr, err := Generate(Config{Clients: 6, APs: 2, Profile: OfficeProfile, Seed: 9, Duration: 1800})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("INSMTR2\n"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			if vErr := got.Validate(); vErr != nil {
+				t.Fatalf("decoder returned invalid trace: %v", vErr)
+			}
+		}
+	})
+}
+
+// FuzzReadFlowsCSV does the same for the CSV path.
+func FuzzReadFlowsCSV(f *testing.F) {
+	f.Add("start,client,bytes,rate,up\n1,0,10,0,false\n")
+	f.Add("start,client,bytes,rate,up\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadFlowsCSV(strings.NewReader(data), Config{Clients: 4, APs: 2}, []int{0, 1, 0, 1})
+		if err == nil {
+			if vErr := got.Validate(); vErr != nil {
+				t.Fatalf("CSV decoder returned invalid trace: %v", vErr)
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package trace
+
+// Profile is a 24-point time-of-day modulation curve; the generator
+// interpolates it linearly (wrapping at midnight). Values are the fraction
+// of terminals that are online ("terminal powered with a user logged in")
+// at that hour.
+type Profile [24]float64
+
+// At returns the linearly interpolated value at time t seconds-of-day.
+func (p Profile) At(t float64) float64 {
+	for t < 0 {
+		t += Day
+	}
+	for t >= Day {
+		t -= Day
+	}
+	h := t / 3600
+	i := int(h)
+	frac := h - float64(i)
+	j := (i + 1) % 24
+	return p[i]*(1-frac) + p[j]*frac
+}
+
+// Max returns the curve's maximum.
+func (p Profile) Max() float64 {
+	m := p[0]
+	for _, v := range p[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// OfficeProfile mimics the UCSD CSE building trace (Thursday): activity
+// ramps from near-zero overnight to a 16-17 h peak and decays in the
+// evening. Calibrated so that, with ~6.8 clients per AP, the fraction of APs
+// with any active client tracks Fig 7's SoI curve (3-4 online gateways
+// overnight, ≈95% of gateways forced on at the 15-17 h peak).
+var OfficeProfile = Profile{
+	0.030, 0.022, 0.015, 0.013, 0.013, 0.015, // 0-5 h
+	0.025, 0.060, 0.130, 0.260, 0.380, 0.470, // 6-11 h
+	0.500, 0.540, 0.600, 0.660, 0.700, 0.640, // 12-17 h
+	0.480, 0.340, 0.220, 0.140, 0.085, 0.050, // 18-23 h
+}
+
+// ResidentialProfile mimics the 10 K-subscriber commercial ADSL dataset of
+// Fig 2: a morning shoulder, an afternoon plateau and an evening peak at
+// 21-22 h, with the overnight trough at 4-6 h.
+var ResidentialProfile = Profile{
+	0.180, 0.120, 0.080, 0.055, 0.045, 0.050, // 0-5 h
+	0.070, 0.100, 0.140, 0.170, 0.200, 0.220, // 6-11 h
+	0.240, 0.250, 0.250, 0.260, 0.280, 0.310, // 12-17 h
+	0.360, 0.420, 0.490, 0.540, 0.480, 0.320, // 18-23 h
+}

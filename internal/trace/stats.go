@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"math"
+	"sort"
+
+	"insomnia/internal/stats"
+)
+
+// Fig4Edges are the paper's inter-packet-gap histogram bins: one-second bins
+// from 0 to 21 s, then 21-40, 40-60 and >60 s.
+func Fig4Edges() []float64 {
+	edges := make([]float64, 0, 25)
+	for s := 0.0; s <= 21; s++ {
+		edges = append(edges, s)
+	}
+	return append(edges, 40, 60, math.Inf(1))
+}
+
+// nominalDuration is the trace-level approximation of a flow's transfer
+// time: the flow alone on the access link, at its application rate cap if
+// it has one (media streams). Trace statistics (Figs 2-4) are computed this
+// way, exactly as one would compute them from a tcpdump of the access link;
+// contention is the simulator's business.
+func (tr *Trace) nominalDuration(f Flow) float64 {
+	bps := tr.Cfg.BackhaulBps
+	if f.Up {
+		bps = tr.Cfg.UplinkBps
+	}
+	if f.Rate > 0 && f.Rate < bps {
+		bps = f.Rate
+	}
+	return float64(f.Bytes) / (bps / 8)
+}
+
+// UtilizationMatrix returns per-AP, per-bin link utilization fractions for
+// the given direction: out[ap][bin] = busy-bytes / bin-capacity. Flow bytes
+// are spread uniformly over the flow's nominal duration; keepalive bytes
+// land in their bin.
+func (tr *Trace) UtilizationMatrix(up bool, bins int) [][]float64 {
+	out := make([][]float64, tr.Cfg.APs)
+	for i := range out {
+		out[i] = make([]float64, bins)
+	}
+	binW := tr.Cfg.Duration / float64(bins)
+	bps := tr.Cfg.BackhaulBps
+	if up {
+		bps = tr.Cfg.UplinkBps
+	}
+	binBytes := bps / 8 * binW
+
+	spread := func(ap int, start, end float64, bytes float64) {
+		if end <= start {
+			end = start + 1e-9
+		}
+		rate := bytes / (end - start)
+		for t := start; t < end; {
+			b := int(t / binW)
+			if b < 0 {
+				b = 0
+			}
+			if b >= bins {
+				return
+			}
+			binEnd := float64(b+1) * binW
+			seg := math.Min(end, binEnd) - t
+			out[ap][b] += rate * seg / binBytes
+			t = math.Min(end, binEnd)
+		}
+	}
+
+	for _, f := range tr.Flows {
+		if f.Up != up {
+			continue
+		}
+		ap := tr.ClientAP[f.Client]
+		spread(ap, f.Start, f.Start+tr.nominalDuration(f), float64(f.Bytes))
+	}
+	if !up {
+		for _, p := range tr.Keepalives {
+			b := int(p.T / binW)
+			if b >= 0 && b < bins {
+				out[tr.ClientAP[p.Client]][b] += float64(p.Bytes) / binBytes
+			}
+		}
+	}
+	return out
+}
+
+// MeanUtilization reduces a utilization matrix to the across-AP mean per
+// bin — the paper's "average utilization" curves (Figs 2 and 3).
+func MeanUtilization(m [][]float64) []float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]float64, len(m[0]))
+	for _, row := range m {
+		for b, v := range row {
+			out[b] += v
+		}
+	}
+	for b := range out {
+		out[b] /= float64(len(m))
+	}
+	return out
+}
+
+// MedianUtilization reduces a utilization matrix to the across-AP median
+// per bin — the paper's "median utilization" curve (Fig 2, right).
+func MedianUtilization(m [][]float64) []float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	bins := len(m[0])
+	out := make([]float64, bins)
+	col := make([]float64, len(m))
+	for b := 0; b < bins; b++ {
+		for a := range m {
+			col[a] = m[a][b]
+		}
+		sort.Float64s(col)
+		out[b] = col[len(col)/2]
+	}
+	return out
+}
+
+// Interval is a closed activity interval [Start, End] on an AP's backhaul.
+type Interval struct{ Start, End float64 }
+
+// APActivity returns the merged busy intervals of AP ap within [from, to):
+// flows contribute their nominal transfer interval, keepalives contribute
+// points. Consecutive intervals closer than mergeGap are coalesced (packets
+// within a flow are back-to-back on the wire; mergeGap=0 keeps every gap).
+func (tr *Trace) APActivity(ap int, from, to float64) []Interval {
+	var iv []Interval
+	for _, f := range tr.Flows {
+		if tr.ClientAP[f.Client] != ap {
+			continue
+		}
+		end := f.Start + tr.nominalDuration(f)
+		if end < from || f.Start > to {
+			continue
+		}
+		iv = append(iv, Interval{max(f.Start, from), math.Min(end, to)})
+	}
+	for _, p := range tr.Keepalives {
+		if tr.ClientAP[p.Client] != ap || p.T < from || p.T > to {
+			continue
+		}
+		iv = append(iv, Interval{p.T, p.T})
+	}
+	return MergeIntervals(iv)
+}
+
+// MergeIntervals sorts and coalesces overlapping or touching intervals.
+func MergeIntervals(iv []Interval) []Interval {
+	if len(iv) == 0 {
+		return nil
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i].Start < iv[j].Start })
+	out := iv[:1]
+	for _, v := range iv[1:] {
+		last := &out[len(out)-1]
+		if v.Start <= last.End {
+			if v.End > last.End {
+				last.End = v.End
+			}
+		} else {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GapHistogram builds the Fig 4 histogram for the window [from, to): the
+// fraction of idle time contributed by inter-packet gaps of each size,
+// aggregated over all APs.
+func (tr *Trace) GapHistogram(from, to float64) *stats.VarHistogram {
+	h := stats.NewVarHistogram(Fig4Edges())
+	for ap := 0; ap < tr.Cfg.APs; ap++ {
+		iv := tr.APActivity(ap, from, to)
+		prev := from
+		for _, v := range iv {
+			if g := v.Start - prev; g > 0 {
+				h.AddWeighted(g, g)
+			}
+			if v.End > prev {
+				prev = v.End
+			}
+		}
+		if g := to - prev; g > 0 {
+			h.AddWeighted(g, g)
+		}
+	}
+	return h
+}
+
+// GapCountHistogram is like GapHistogram but weights each gap once instead
+// of by its duration — "82% of the inter-packet gaps are lower than 60 s"
+// (§5.1) is a count-weighted statement.
+func (tr *Trace) GapCountHistogram(from, to float64) *stats.VarHistogram {
+	h := stats.NewVarHistogram(Fig4Edges())
+	for ap := 0; ap < tr.Cfg.APs; ap++ {
+		iv := tr.APActivity(ap, from, to)
+		prev := from
+		for _, v := range iv {
+			if g := v.Start - prev; g > 0 {
+				h.Add(g)
+			}
+			if v.End > prev {
+				prev = v.End
+			}
+		}
+	}
+	return h
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,217 @@
+package wifi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTDMAShares(t *testing.T) {
+	d := DefaultTDMA
+	if got := d.ActiveSliceSec(); math.Abs(got-0.06) > 1e-12 {
+		t.Errorf("active slice = %v, want 0.06", got)
+	}
+	// 4 other gateways share the remaining 40 ms: 10 ms each.
+	if got := d.MonitorSliceSec(4); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("monitor slice = %v, want 0.01", got)
+	}
+	if got := d.MonitorSliceSec(0); got != 0 {
+		t.Errorf("monitor slice with no others = %v", got)
+	}
+	// 60% of a 12 Mbps wireless link covers a 6 Mbps backhaul (§5.3 fn 7).
+	if got := d.EffectiveBps(12e6); got < 6e6 {
+		t.Errorf("effective rate %v cannot drain 6 Mbps backhaul", got)
+	}
+}
+
+func TestSeqCounterWraps(t *testing.T) {
+	var c SeqCounter
+	c.Advance(4000)
+	if c.Value() != 4000 {
+		t.Fatalf("sn = %d", c.Value())
+	}
+	c.Advance(200)
+	if c.Value() != 104 {
+		t.Fatalf("wrapped sn = %d, want 104", c.Value())
+	}
+}
+
+func TestSeqCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c SeqCounter
+	c.Advance(-1)
+}
+
+func TestSeqDelta(t *testing.T) {
+	cases := []struct {
+		from, to uint16
+		want     int
+	}{
+		{0, 0, 0},
+		{0, 5, 5},
+		{4090, 10, 16}, // wrap
+		{5, 5, 0},
+		{100, 99, 4095}, // full wrap minus one
+	}
+	for _, c := range cases {
+		if got := SeqDelta(c.from, c.to); got != c.want {
+			t.Errorf("SeqDelta(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// Property: SeqDelta inverts Advance for under-modulus counts.
+func TestSeqDeltaInvertsAdvanceProperty(t *testing.T) {
+	f := func(start uint16, n uint16) bool {
+		c := SeqCounter{sn: start % SNModulus}
+		before := c.Value()
+		frames := int(n % SNModulus)
+		c.Advance(frames)
+		return SeqDelta(before, c.Value()) == frames
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFramesFor(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {1500, 1}, {1501, 2}, {4500, 3},
+	}
+	for _, c := range cases {
+		if got := FramesFor(c.bytes); got != c.want {
+			t.Errorf("FramesFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestLoadEstimatorTracksUtilization(t *testing.T) {
+	// A 6 Mbps gateway sending 300 MTU-sized frames over 60 s:
+	// 300*1500*8 / (6e6*60) = 1% utilization.
+	e := NewLoadEstimator(6e6)
+	var c SeqCounter
+	e.Observe(0, c.Value())
+	for ts := 1; ts <= 60; ts++ {
+		c.Advance(5)
+		e.Observe(float64(ts), c.Value())
+	}
+	got := e.Utilization(60, 60)
+	want := 300.0 * DefaultFrameBytes * 8 / (6e6 * 60)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("utilization = %v, want %v", got, want)
+	}
+}
+
+func TestLoadEstimatorWindowsOldSamples(t *testing.T) {
+	e := NewLoadEstimator(6e6)
+	var c SeqCounter
+	e.Observe(0, c.Value())
+	c.Advance(1000)
+	e.Observe(10, c.Value()) // burst at t=10
+	e.Observe(100, c.Value())
+	// A window covering only [40,100] must not see the burst.
+	if got := e.Utilization(100, 60); got != 0 {
+		t.Errorf("old burst leaked into window: %v", got)
+	}
+}
+
+func TestLoadEstimatorClampsToOne(t *testing.T) {
+	e := NewLoadEstimator(1000) // 1 kbps link
+	var c SeqCounter
+	e.Observe(0, c.Value())
+	c.Advance(500)
+	e.Observe(1, c.Value())
+	if got := e.Utilization(1, 1); got != 1 {
+		t.Errorf("utilization = %v, want clamped 1", got)
+	}
+}
+
+func TestLoadEstimatorBeforePriming(t *testing.T) {
+	e := NewLoadEstimator(6e6)
+	if got := e.Utilization(10, 60); got != 0 {
+		t.Errorf("unprimed utilization = %v", got)
+	}
+	e.Observe(0, 42)
+	if got := e.Utilization(10, 60); got != 0 {
+		t.Errorf("single-observation utilization = %v", got)
+	}
+}
+
+func TestLoadEstimatorFrameSizeError(t *testing.T) {
+	// The estimator assumes 1200 B frames; if the gateway actually sends
+	// 300 B frames the estimate is 4x the truth — the §3.2 error source.
+	e := NewLoadEstimator(6e6)
+	var c SeqCounter
+	e.Observe(0, c.Value())
+	trueBytes := int64(0)
+	for ts := 1; ts <= 10; ts++ {
+		c.Advance(FramesFor(300)) // 1 frame per 300 B keepalive
+		trueBytes += 300
+		e.Observe(float64(ts), c.Value())
+	}
+	got := e.Utilization(10, 10)
+	truth := float64(trueBytes) * 8 / (6e6 * 10)
+	if got <= truth {
+		t.Errorf("estimator should overestimate small frames: %v <= %v", got, truth)
+	}
+	if got > truth*5 {
+		t.Errorf("overestimate too large: %v vs %v", got, truth)
+	}
+}
+
+func TestLoadEstimatorReset(t *testing.T) {
+	e := NewLoadEstimator(6e6)
+	var c SeqCounter
+	e.Observe(0, c.Value())
+	c.Advance(100)
+	e.Observe(1, c.Value())
+	e.Reset()
+	if got := e.Utilization(2, 60); got != 0 {
+		t.Errorf("post-reset utilization = %v", got)
+	}
+	// Re-prime after reset: first observation establishes the new baseline
+	// without counting the sleep-time delta.
+	e.Observe(2, 0)
+	e.Observe(3, 10)
+	if got := e.Utilization(3, 1); got == 0 {
+		t.Error("estimator dead after reset")
+	}
+}
+
+func TestLoadEstimatorPanicsOnTimeTravel(t *testing.T) {
+	e := NewLoadEstimator(6e6)
+	e.Observe(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Observe(5, 1)
+}
+
+func TestActiveWithin(t *testing.T) {
+	e := NewLoadEstimator(6e6)
+	var c SeqCounter
+	e.Observe(0, c.Value())
+	e.Observe(1, c.Value()) // zero frames
+	if e.ActiveWithin(1, 60) {
+		t.Error("silent gateway reported active")
+	}
+	c.Advance(1)
+	e.Observe(2, c.Value())
+	if !e.ActiveWithin(2, 60) {
+		t.Error("gateway with a frame not reported active")
+	}
+	// Out of window: a burst at t=2 is invisible from t=100 with window 60.
+	e.Observe(100, c.Value())
+	if e.ActiveWithin(100, 60) {
+		t.Error("stale frame counted as recent activity")
+	}
+}
