@@ -18,6 +18,7 @@ import (
 	"insomnia/internal/crosstalk"
 	"insomnia/internal/dsl"
 	"insomnia/internal/figures"
+	"insomnia/internal/runner"
 	"insomnia/internal/sim"
 	"insomnia/internal/testbed"
 	"insomnia/internal/trace"
@@ -29,7 +30,10 @@ var (
 	dayErr  error
 )
 
-// day lazily runs the §5 scenario once for all day-based benchmarks.
+// day lazily runs the §5 scenario once for all day-based benchmarks. The
+// eight schemes fan out through the experiment runner's worker pool
+// (internal/runner), so the fixture costs roughly one Optimal run of
+// wall-clock instead of the serial sum.
 func day(b *testing.B) *figures.DayRuns {
 	b.Helper()
 	dayOnce.Do(func() {
@@ -45,6 +49,27 @@ func day(b *testing.B) *figures.DayRuns {
 	}
 	return dayRuns
 }
+
+// BenchmarkSchemeComparisonSerial and ...Parallel measure the experiment
+// runner itself: the same four-scheme comparison over one shared scenario,
+// scheduled on 1 worker vs GOMAXPROCS workers. The per-scheme results are
+// identical (runner_test.go proves it); only wall-clock differs.
+func benchSchemeComparison(b *testing.B, workers int) {
+	sc := benchScenario(b)
+	schemes := []sim.Scheme{sim.NoSleep, sim.SoI, sim.SoIKSwitch, sim.BH2KSwitch}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs := runner.SchemeJobs(sim.Config{Trace: sc.Trace, Topo: sc.Topo, Seed: 2}, schemes)
+		outs := (runner.Runner{Workers: workers}).Run(jobs)
+		if err := runner.FirstErr(outs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(outs[3].Result.SavingsVs(outs[0].Result)*100, "bh2k-savings-%")
+	}
+}
+
+func BenchmarkSchemeComparisonSerial(b *testing.B)   { benchSchemeComparison(b, 1) }
+func BenchmarkSchemeComparisonParallel(b *testing.B) { benchSchemeComparison(b, 0) }
 
 func BenchmarkFig2_ResidentialUtilization(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -31,6 +31,7 @@ func main() {
 	runs := flag.Int("runs", 1, "day-simulation repetitions to average (distinct seeds)")
 	fig := flag.String("fig", "all", "which figure to regenerate")
 	liveScale := flag.Float64("livescale", 0.005, "testbed wall-seconds per virtual second (fig 12)")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -43,7 +44,7 @@ func main() {
 	if needDay {
 		log.Printf("running day simulations (%d run(s), 8 schemes; the Optimal ILP dominates runtime)...", *runs)
 		var err error
-		day, err = averagedDayRuns(*seed, *runs)
+		day, err = averagedDayRuns(*seed, *runs, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,7 +92,12 @@ func main() {
 		writeSeries(*out, "fig9b_ontime_cdf.csv", "ontime-variation-pct", figures.Fig9b(day))
 	}
 	if want("10") {
-		s, err := figures.Fig10(*seed, nil)
+		// -runs > 1 turns Fig 10 into a multi-seed sweep with error bars.
+		seeds := make([]int64, *runs)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		s, err := figures.Fig10Sweep(seeds, nil, *workers)
 		check(err)
 		writeSeries(*out, "fig10_density_sweep.csv", "mean-available-gateways", []figures.Series{s})
 		fmt.Print(figures.RenderASCII(s, 40))
@@ -161,15 +167,16 @@ func main() {
 // averagedDayRuns merges per-seed runs by averaging the derived series is
 // overkill for shape reproduction; instead we run the requested seeds and
 // keep the first (figures are per-run like the paper's averaged plots, and
-// additional runs are summarized on stdout for variance inspection).
-func averagedDayRuns(seed int64, runs int) (*figures.DayRuns, error) {
+// additional runs are summarized on stdout for variance inspection). Each
+// seed's 8 schemes fan out over the worker pool.
+func averagedDayRuns(seed int64, runs, workers int) (*figures.DayRuns, error) {
 	var first *figures.DayRuns
 	for i := 0; i < runs; i++ {
 		sc, err := figures.NewScenario(seed + int64(i))
 		if err != nil {
 			return nil, err
 		}
-		day, err := figures.RunDay(sc, nil)
+		day, err := figures.RunDayWorkers(sc, nil, workers)
 		if err != nil {
 			return nil, err
 		}

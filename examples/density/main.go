@@ -2,6 +2,10 @@
 // online during peak hours shrinks as wireless density (the mean number of
 // gateways a client can reach) grows from 1 to 10.
 //
+// The sweep itself is figures.Fig10Sweep: every (density, seed) pair is
+// one job for the parallel experiment runner over a single shared trace,
+// and the series carries the cross-seed mean ± std this table renders.
+//
 //	go run ./examples/density
 package main
 
@@ -9,30 +13,18 @@ import (
 	"fmt"
 	"log"
 
-	"insomnia/internal/sim"
-	"insomnia/internal/topology"
-	"insomnia/internal/trace"
+	"insomnia/internal/figures"
 )
 
 func main() {
-	tr, err := trace.Generate(trace.DefaultSimConfig(7))
+	seeds := []int64{7, 8, 9}
+	s, err := figures.Fig10Sweep(seeds, nil, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("mean available gateways -> online gateways during peak (11-19h)")
-	for _, density := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
-		// Binomial connectivity: each client reaches its home plus every
-		// other gateway independently, tuned to the target mean.
-		topo, err := topology.Binomial(tr.Cfg.APs, tr.ClientAP, density, 7)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := sim.Run(sim.Config{Trace: tr, Topo: topo, Scheme: sim.BH2KSwitch, Seed: 7})
-		if err != nil {
-			log.Fatal(err)
-		}
-		online := sim.MeanOver(res.OnlineGWs, 11, 19)
-		fmt.Printf("  %4.1f -> %5.1f  %s\n", density, online, bar(online, 40))
+	fmt.Printf("mean available gateways -> online gateways during peak (11-19h), %d seeds\n", len(seeds))
+	for i, density := range s.X {
+		fmt.Printf("  %4.1f -> %5.1f ±%4.1f  %s\n", density, s.Y[i], s.Err[i], bar(s.Y[i], 40))
 	}
 	fmt.Println("\npaper: density 1 -> ~29 online; density 2 -> 19 (35% fewer); falling further with density")
 }

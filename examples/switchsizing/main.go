@@ -3,6 +3,11 @@
 // group can sleep, given per-line activity p — plus the expected number of
 // sleeping cards and a comparison against plain SoI's (1-p)^m.
 //
+// The second half validates the analytic ordering in the simulator: a
+// multi-seed k-sweep on an 8-card shelf fans out through the parallel
+// experiment runner (one job per (k, seed), one shared trace/topology per
+// seed) and reports online cards during the busy window.
+//
 //	go run ./examples/switchsizing
 package main
 
@@ -11,6 +16,12 @@ import (
 	"log"
 
 	"insomnia/internal/analytic"
+	"insomnia/internal/dsl"
+	"insomnia/internal/runner"
+	"insomnia/internal/sim"
+	"insomnia/internal/stats"
+	"insomnia/internal/topology"
+	"insomnia/internal/trace"
 )
 
 func main() {
@@ -38,4 +49,71 @@ func main() {
 	}
 	fmt.Println("conclusion (paper §4.2): even 4- and 8-switches put a good number of")
 	fmt.Println("cards to sleep; plain SoI effectively never sleeps a card.")
+
+	simulateKSweep()
+}
+
+// simulateKSweep cross-checks the Eq (2) ordering end-to-end: BH2 over an
+// 8-card DSLAM with k in {2,4,8}, three seeds each, all runs in parallel.
+func simulateKSweep() {
+	seeds := []int64{5, 6, 7}
+	ks := []int{2, 4, 8}
+	shelf := dsl.DSLAM{Cards: 8, PortsPerCard: 6}
+
+	// One scenario per seed, shared read-only by that seed's three k jobs.
+	scenarios := make(map[int64]sim.Config, len(seeds))
+	for _, seed := range seeds {
+		tr, topo, err := scenario(seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios[seed] = sim.Config{Trace: tr, Topo: topo, Scheme: sim.BH2KSwitch, Seed: seed, DSLAM: shelf}
+	}
+	var jobs []runner.Job
+	for _, k := range ks {
+		for _, seed := range seeds {
+			cfg := scenarios[seed]
+			cfg.K = k
+			jobs = append(jobs, runner.Job{Name: fmt.Sprintf("k%d/seed%d", k, seed), Config: cfg})
+		}
+	}
+	outs := runner.Run(jobs)
+	if err := runner.FirstErr(outs); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nsimulated check (BH2, 8-card shelf, busy 2 h, 3 seeds):")
+	for ki, k := range ks {
+		var w stats.Welford
+		for si := range seeds {
+			res := outs[ki*len(seeds)+si].Result
+			w.Add(sim.MeanOver(res.OnlineCards, 0, 2))
+		}
+		fmt.Printf("  k=%d: %.2f ±%.2f of 8 cards online\n", k, w.Mean(), w.Std())
+	}
+	fmt.Println("bigger switches concentrate active lines on fewer cards, as Eq (2) predicts.")
+}
+
+// scenario builds a busy two-hour 48-client workload; each seed draws its
+// own trace and topology, shared read-only by that seed's jobs.
+func scenario(seed int64) (*trace.Trace, *topology.Topology, error) {
+	var busy trace.Profile
+	for i := range busy {
+		busy[i] = 0.55
+	}
+	tr, err := trace.Generate(trace.Config{
+		Clients: 48, APs: 8, Profile: busy, Seed: seed, Duration: 2 * 3600,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := topology.OverlapGraph(8, 5.0, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	topo, err := topology.FromOverlap(g, tr.ClientAP)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, topo, nil
 }

@@ -1,0 +1,3 @@
+module insomnia
+
+go 1.22

@@ -10,10 +10,12 @@ package figures
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"insomnia/internal/analytic"
 	"insomnia/internal/crosstalk"
 	"insomnia/internal/dsl"
+	"insomnia/internal/runner"
 	"insomnia/internal/sim"
 	"insomnia/internal/stats"
 	"insomnia/internal/topology"
@@ -67,40 +69,52 @@ var DefaultSchemes = []sim.Scheme{
 	sim.BH2KSwitch, sim.BH2FullSwitch, sim.BH2NoBackup, sim.Optimal,
 }
 
-// RunDay simulates the given schemes over one scenario. Pass nil for the
+// RunDay simulates the given schemes over one scenario, fanning out across
+// a GOMAXPROCS-wide worker pool (see RunDayWorkers). Pass nil for the
 // default scheme set.
 func RunDay(sc *Scenario, schemes []sim.Scheme) (*DayRuns, error) {
+	return RunDayWorkers(sc, schemes, 0)
+}
+
+// RunDayWorkers is RunDay with an explicit worker count (<=0 uses
+// GOMAXPROCS; 1 recovers the fully serial path). All schemes share the
+// scenario's trace and topology read-only, and results are identical at
+// any width because each run's randomness is self-contained.
+func RunDayWorkers(sc *Scenario, schemes []sim.Scheme, workers int) (*DayRuns, error) {
 	if schemes == nil {
 		schemes = DefaultSchemes
 	}
-	out := &DayRuns{Scenario: sc, Results: map[sim.Scheme]*sim.Result{}}
-	for _, s := range schemes {
-		res, err := sim.Run(sim.Config{Trace: sc.Trace, Topo: sc.Topo, Scheme: s, Seed: sc.Seed})
-		if err != nil {
-			return nil, fmt.Errorf("figures: scheme %v: %w", s, err)
-		}
-		out.Results[s] = res
+	base := sim.Config{Trace: sc.Trace, Topo: sc.Topo, Seed: sc.Seed}
+	jobs := runner.SchemeJobs(base, schemes)
+	// Figs 6, 8 and the headline always need the no-sleep baseline.
+	if !slices.Contains(schemes, sim.NoSleep) {
+		jobs = append(jobs, runner.SchemeJobs(base, []sim.Scheme{sim.NoSleep})...)
 	}
-	if out.Results[sim.NoSleep] == nil {
-		base, err := sim.Run(sim.Config{Trace: sc.Trace, Topo: sc.Topo, Scheme: sim.NoSleep, Seed: sc.Seed})
-		if err != nil {
-			return nil, err
+	out := &DayRuns{Scenario: sc, Results: map[sim.Scheme]*sim.Result{}}
+	for _, o := range (runner.Runner{Workers: workers}).Run(jobs) {
+		if o.Err != nil {
+			return nil, fmt.Errorf("figures: %w", o.Err) // runner names the scheme
 		}
-		out.Results[sim.NoSleep] = base
+		out.Results[o.Job.Config.Scheme] = o.Result
 	}
 	return out, nil
 }
 
-// hourly reduces a per-second series to 24 hourly means.
+// hourly reduces a per-bin series to 24 hourly means by mapping each bin
+// onto its proportional hour. Series with fewer than 24 bins (short
+// traces) land each bin in the right hour instead of silently averaging
+// empty windows; hours with no bins report 0.
 func hourly(f func(i int) float64, bins int) []float64 {
 	out := make([]float64, 24)
-	per := bins / 24
-	for h := 0; h < 24; h++ {
-		var w stats.Welford
-		for i := h * per; i < (h+1)*per && i < bins; i++ {
-			w.Add(f(i))
-		}
-		out[h] = w.Mean()
+	if bins <= 0 {
+		return out
+	}
+	var ws [24]stats.Welford
+	for i := 0; i < bins; i++ {
+		ws[i*24/bins].Add(f(i))
+	}
+	for h := range out {
+		out[h] = ws[h].Mean()
 	}
 	return out
 }
@@ -313,26 +327,58 @@ func Fig9b(runs *DayRuns) []Series {
 
 // Fig10 sweeps gateway density: mean online gateways during peak hours
 // (11-19 h) vs mean number of available gateways per client, under BH2.
+// All density points run in parallel over one shared trace.
 func Fig10(seed int64, densities []float64) (Series, error) {
+	return Fig10Sweep([]int64{seed}, densities, 0)
+}
+
+// Fig10Sweep is the multi-seed variant of Fig10: every (density, seed)
+// pair becomes one runner job over a single shared trace, and the series
+// reports the per-density mean with the cross-seed standard deviation as
+// error bars (the paper averaged 10 runs). Workers sizes the pool as in
+// RunDayWorkers.
+func Fig10Sweep(seeds []int64, densities []float64, workers int) (Series, error) {
 	if densities == nil {
 		densities = []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	}
-	tr, err := trace.Generate(trace.DefaultSimConfig(seed))
+	if len(seeds) == 0 {
+		return Series{}, fmt.Errorf("figures: Fig10 needs at least one seed")
+	}
+	tr, err := trace.Generate(trace.DefaultSimConfig(seeds[0]))
 	if err != nil {
 		return Series{}, err
 	}
-	s := Series{Name: "BH2"}
+	var jobs []runner.Job
 	for _, d := range densities {
-		tp, err := topology.Binomial(tr.Cfg.APs, tr.ClientAP, d, seed)
-		if err != nil {
-			return Series{}, err
+		for _, seed := range seeds {
+			// The binomial connectivity is part of the sampled randomness:
+			// each seed draws its own topology at the target density.
+			tp, err := topology.Binomial(tr.Cfg.APs, tr.ClientAP, d, seed)
+			if err != nil {
+				return Series{}, err
+			}
+			jobs = append(jobs, runner.Job{
+				Name:   fmt.Sprintf("density%g/seed%d", d, seed),
+				Config: sim.Config{Trace: tr, Topo: tp, Scheme: sim.BH2KSwitch, Seed: seed},
+			})
 		}
-		res, err := sim.Run(sim.Config{Trace: tr, Topo: tp, Scheme: sim.BH2KSwitch, Seed: seed})
-		if err != nil {
-			return Series{}, err
+	}
+	outs := (runner.Runner{Workers: workers}).Run(jobs)
+	if err := runner.FirstErr(outs); err != nil {
+		return Series{}, err
+	}
+	s := Series{Name: "BH2"}
+	for di, d := range densities {
+		var w stats.Welford
+		for si := range seeds {
+			res := outs[di*len(seeds)+si].Result
+			w.Add(sim.MeanOver(res.OnlineGWs, 11, 19))
 		}
 		s.X = append(s.X, d)
-		s.Y = append(s.Y, sim.MeanOver(res.OnlineGWs, 11, 19))
+		s.Y = append(s.Y, w.Mean())
+		if len(seeds) > 1 {
+			s.Err = append(s.Err, w.Std())
+		}
 	}
 	return s, nil
 }

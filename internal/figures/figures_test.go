@@ -181,6 +181,82 @@ func TestDayFigureReductions(t *testing.T) {
 	}
 }
 
+func TestHourlyShortSeries(t *testing.T) {
+	// Fewer bins than hours: every bin must still land in its own hour
+	// instead of vanishing into empty windows (per == 0 regression).
+	got := hourly(func(i int) float64 { return float64(i + 1) }, 12)
+	if len(got) != 24 {
+		t.Fatalf("hourly returned %d bins", len(got))
+	}
+	var sum float64
+	for _, v := range got {
+		sum += v
+	}
+	if want := 1.0 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10 + 11 + 12; sum != float64(want) {
+		t.Errorf("short series lost samples: hourly sums to %v, want %v", sum, want)
+	}
+	// bin 0 maps to hour 0, bin 11 to hour 22.
+	if got[0] != 1 || got[22] != 12 {
+		t.Errorf("short-series binning off: hour0=%v hour22=%v", got[0], got[22])
+	}
+	if out := hourly(func(i int) float64 { return 1 }, 0); len(out) != 24 {
+		t.Errorf("zero-bin series: %d hours", len(out))
+	}
+	// The common divisible case is unchanged: 48 bins -> 2 per hour.
+	got = hourly(func(i int) float64 { return float64(i / 2) }, 48)
+	for h, v := range got {
+		if v != float64(h) {
+			t.Fatalf("hour %d mean = %v, want %d", h, v, h)
+		}
+	}
+}
+
+func TestRunDayWorkerInvariance(t *testing.T) {
+	var busy trace.Profile
+	for i := range busy {
+		busy[i] = 0.5
+	}
+	tr, err := trace.Generate(trace.Config{
+		Clients: 40, APs: 8, Profile: busy, Seed: 4, Duration: 2 * 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.OverlapGraph(8, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := topology.FromOverlap(g, tr.ClientAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scenario{Trace: tr, Topo: tp, Seed: 4}
+	schemes := []sim.Scheme{sim.NoSleep, sim.SoI, sim.BH2KSwitch}
+	serial, err := RunDayWorkers(sc, schemes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunDayWorkers(sc, schemes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range schemes {
+		a, b := serial.Results[s], parallel.Results[s]
+		if a == nil || b == nil {
+			t.Fatalf("%v missing from runs", s)
+		}
+		if a.Energy != b.Energy || a.Wakeups != b.Wakeups || a.Moves != b.Moves {
+			t.Errorf("%v differs between 1 and 4 workers: %+v vs %+v", s, a.Energy, b.Energy)
+		}
+		for i := range a.FCT {
+			af, bf := a.FCT[i], b.FCT[i]
+			if (af != bf) && !(af != af && bf != bf) { // NaN-tolerant compare
+				t.Fatalf("%v FCT[%d]: %v vs %v", s, i, af, bf)
+			}
+		}
+	}
+}
+
 func TestFig15Shape(t *testing.T) {
 	series, err := Fig15(1)
 	if err != nil {

@@ -1,0 +1,126 @@
+// Package runner is the deterministic parallel experiment runner: it
+// schedules campaigns of independent simulations (many schemes, seeds,
+// densities, ...) over a fixed-size worker pool and collects results in
+// job order, so campaign output is byte-identical regardless of how many
+// workers ran it.
+//
+// Safety rests on two invariants the sim layer upholds:
+//
+//   - sim.Run is deterministic: all randomness flows through per-run RNGs
+//     derived from Config.Seed, and scheme strategies keep every bit of run
+//     state on the per-run sim value.
+//   - Jobs may share read-only fixtures (one trace.Trace / one
+//     topology.Topology generated once, referenced by many Configs);
+//     nothing in a run mutates them.
+//
+// The runner is the seam future scaling work (sharding, multi-scenario
+// campaigns, distributed backends) plugs into: anything that can enumerate
+// Jobs can fan out through it.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"insomnia/internal/sim"
+)
+
+// Job names one simulation in a campaign.
+type Job struct {
+	Name   string
+	Config sim.Config
+}
+
+// Outcome pairs a job with its result or error.
+type Outcome struct {
+	Job    Job
+	Result *sim.Result
+	Err    error
+}
+
+// Runner executes jobs on a fixed-size worker pool. The zero value is
+// ready to use and sizes the pool by GOMAXPROCS.
+type Runner struct {
+	// Workers caps concurrent simulations; <=0 means GOMAXPROCS. 1
+	// recovers the fully serial path.
+	Workers int
+}
+
+// Run executes every job and returns outcomes in job order. Errors don't
+// stop the campaign: each failed job carries its own Err and the rest
+// still run (use FirstErr to fail fast afterwards).
+func (r Runner) Run(jobs []Job) []Outcome {
+	out := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := sim.Run(jobs[i].Config)
+				if err != nil {
+					err = fmt.Errorf("runner: job %q: %w", jobs[i].Name, err)
+				}
+				// Each worker writes only its own index: ordered collection
+				// with no post-hoc sorting and no shared accumulator.
+				out[i] = Outcome{Job: jobs[i], Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Run executes jobs with a default (GOMAXPROCS-wide) pool.
+func Run(jobs []Job) []Outcome { return Runner{}.Run(jobs) }
+
+// FirstErr returns the first error in job order, or nil.
+func FirstErr(outs []Outcome) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}
+
+// SchemeJobs builds one job per scheme over a shared read-only scenario:
+// the base config is copied per job with only the scheme swapped, so every
+// run references the same trace and topology fixtures.
+func SchemeJobs(base sim.Config, schemes []sim.Scheme) []Job {
+	jobs := make([]Job, len(schemes))
+	for i, sc := range schemes {
+		cfg := base
+		cfg.Scheme = sc
+		jobs[i] = Job{Name: sc.String(), Config: cfg}
+	}
+	return jobs
+}
+
+// SeedJobs builds one job per seed over a shared read-only scenario — the
+// multi-seed sweeps the paper averages its day figures over.
+func SeedJobs(base sim.Config, seeds []int64) []Job {
+	jobs := make([]Job, len(seeds))
+	for i, seed := range seeds {
+		cfg := base
+		cfg.Seed = seed
+		jobs[i] = Job{Name: fmt.Sprintf("%v/seed%d", cfg.Scheme, seed), Config: cfg}
+	}
+	return jobs
+}

@@ -1,0 +1,153 @@
+package runner
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"insomnia/internal/sim"
+	"insomnia/internal/topology"
+	"insomnia/internal/trace"
+)
+
+// scenario builds a reduced shared fixture: one trace and one topology
+// referenced read-only by every job in these tests.
+func scenario(t *testing.T, seed int64) (*trace.Trace, *topology.Topology) {
+	t.Helper()
+	var busy trace.Profile
+	for i := range busy {
+		busy[i] = 0.55
+	}
+	tr, err := trace.Generate(trace.Config{
+		Clients: 48, APs: 8, Profile: busy, Seed: seed, Duration: 2 * 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.OverlapGraph(8, 5.0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := topology.FromOverlap(g, tr.ClientAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, tp
+}
+
+// sameResult asserts the metrics the figures consume are identical: energy
+// joules, the full FCT vector, and the wakeup/move/resolve counters.
+func sameResult(t *testing.T, label string, a, b *sim.Result) {
+	t.Helper()
+	if a.Energy != b.Energy {
+		t.Errorf("%s: energy differs: %+v vs %+v", label, a.Energy, b.Energy)
+	}
+	if a.Wakeups != b.Wakeups || a.Moves != b.Moves || a.Resolves != b.Resolves {
+		t.Errorf("%s: counters differ: wake %d/%d moves %d/%d resolves %d/%d",
+			label, a.Wakeups, b.Wakeups, a.Moves, b.Moves, a.Resolves, b.Resolves)
+	}
+	if len(a.FCT) != len(b.FCT) {
+		t.Fatalf("%s: FCT length %d vs %d", label, len(a.FCT), len(b.FCT))
+	}
+	for i := range a.FCT {
+		af, bf := a.FCT[i], b.FCT[i]
+		if math.IsNaN(af) != math.IsNaN(bf) || (!math.IsNaN(af) && af != bf) {
+			t.Fatalf("%s: FCT[%d] differs: %v vs %v", label, i, af, bf)
+		}
+	}
+}
+
+func TestSameConfigTwiceIsDeterministic(t *testing.T) {
+	tr, tp := scenario(t, 21)
+	cfg := sim.Config{Trace: tr, Topo: tp, Scheme: sim.BH2KSwitch, Seed: 21, K: 2}
+	outs := Run([]Job{{Name: "a", Config: cfg}, {Name: "b", Config: cfg}})
+	if err := FirstErr(outs); err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "same config twice", outs[0].Result, outs[1].Result)
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	tr, tp := scenario(t, 22)
+	base := sim.Config{Trace: tr, Topo: tp, Seed: 22, K: 2}
+	jobs := SchemeJobs(base, []sim.Scheme{
+		sim.NoSleep, sim.SoI, sim.SoIKSwitch, sim.BH2KSwitch,
+		sim.BH2NoBackup, sim.Optimal, sim.Centralized,
+	})
+	serial := Runner{Workers: 1}.Run(jobs)
+	if err := FirstErr(serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+		parallel := Runner{Workers: workers}.Run(jobs)
+		if err := FirstErr(parallel); err != nil {
+			t.Fatal(err)
+		}
+		for i := range jobs {
+			if parallel[i].Job.Name != jobs[i].Name {
+				t.Fatalf("workers=%d: outcome %d is %q, want %q (order lost)",
+					workers, i, parallel[i].Job.Name, jobs[i].Name)
+			}
+			sameResult(t, jobs[i].Name, serial[i].Result, parallel[i].Result)
+		}
+	}
+}
+
+func TestErrorsAreIsolated(t *testing.T) {
+	tr, tp := scenario(t, 23)
+	good := sim.Config{Trace: tr, Topo: tp, Scheme: sim.SoI, Seed: 23, K: 2}
+	outs := Run([]Job{
+		{Name: "good-1", Config: good},
+		{Name: "bad", Config: sim.Config{}}, // no trace/topology: must fail
+		{Name: "good-2", Config: good},
+	})
+	if outs[0].Err != nil || outs[0].Result == nil {
+		t.Errorf("good-1 failed: %v", outs[0].Err)
+	}
+	if outs[1].Err == nil {
+		t.Error("bad job produced no error")
+	}
+	if outs[2].Err != nil || outs[2].Result == nil {
+		t.Errorf("good-2 failed: %v", outs[2].Err)
+	}
+	if err := FirstErr(outs); err == nil {
+		t.Error("FirstErr missed the failed job")
+	}
+	sameResult(t, "jobs around a failure", outs[0].Result, outs[2].Result)
+}
+
+func TestEmptyAndDefaultPool(t *testing.T) {
+	if outs := Run(nil); len(outs) != 0 {
+		t.Fatalf("empty campaign produced %d outcomes", len(outs))
+	}
+	// Workers beyond the job count must not deadlock or drop jobs.
+	tr, tp := scenario(t, 24)
+	outs := Runner{Workers: 64}.Run([]Job{{
+		Name: "solo", Config: sim.Config{Trace: tr, Topo: tp, Scheme: sim.SoI, Seed: 24, K: 2},
+	}})
+	if err := FirstErr(outs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedJobsShareFixtures(t *testing.T) {
+	tr, tp := scenario(t, 25)
+	base := sim.Config{Trace: tr, Topo: tp, Scheme: sim.BH2KSwitch, K: 2}
+	jobs := SeedJobs(base, []int64{1, 2, 3})
+	for i, j := range jobs {
+		if j.Config.Trace != tr || j.Config.Topo != tp {
+			t.Fatalf("job %d does not share the scenario fixtures", i)
+		}
+		if j.Config.Seed != int64(i+1) {
+			t.Fatalf("job %d seed = %d", i, j.Config.Seed)
+		}
+	}
+	outs := Run(jobs)
+	if err := FirstErr(outs); err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds must explore different randomness.
+	if outs[0].Result.Energy == outs[1].Result.Energy {
+		t.Error("seed sweep produced identical energy for different seeds")
+	}
+}

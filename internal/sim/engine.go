@@ -1,225 +1,21 @@
 package sim
 
+// The engine core: the scheme-agnostic half of the simulator. It merges the
+// trace's flow/keepalive streams with the dynamic event heap, integrates
+// processor-sharing transport, drives the SoI power controllers and samples
+// the metric series. Everything scheme-specific — routing, decisions,
+// re-solves, switch fabric — is delegated to the sim's strategy (scheme.go
+// and the scheme_*.go files).
+
 import (
 	"container/heap"
-	"fmt"
 	"math"
-	"math/rand"
 
-	"insomnia/internal/bh2"
 	"insomnia/internal/dsl"
 	"insomnia/internal/kswitch"
-	"insomnia/internal/optimal"
 	"insomnia/internal/power"
-	"insomnia/internal/soi"
-	"insomnia/internal/stats"
 	"insomnia/internal/wifi"
 )
-
-// event kinds.
-const (
-	evComplete = iota // flow completion check on gateway A
-	evGwCheck         // gateway A state transition due
-	evDecide          // BH2 decision for client A
-	evTick            // metric sampling + estimator observation
-	evResolve         // Optimal re-solve
-)
-
-type event struct {
-	t    float64
-	seq  int64 // FIFO tie-break for determinism
-	kind int
-	a    int
-	aux  int64 // epoch for evComplete staleness
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-
-type flowState struct {
-	gw        int
-	client    int
-	rem       float64 // remaining bytes
-	capBps    float64 // min(wireless link, application rate) at routing time
-	done      bool
-	up        bool
-	completed float64
-
-	// Wake-stall accounting: time the flow sat waiting for its gateway to
-	// finish waking. Fig 9a's paper-comparable variant charges only this
-	// to the completion time.
-	stallFrom float64 // >=0 while waiting; -1 otherwise
-	stalled   float64 // accumulated wake-wait seconds
-}
-
-type gateway struct {
-	id         int
-	ctl        *soi.Controller
-	modem      *power.Device
-	flows      []int // indices into sim.flows
-	lastElapse float64
-	complEpoch int64
-
-	sn           wifi.SeqCounter
-	byteResidual float64
-	est          *wifi.LoadEstimator
-}
-
-type client struct {
-	home        int
-	assigned    int
-	pendingHome bool
-}
-
-type sim struct {
-	cfg Config
-	now float64
-	end float64
-	h   eventHeap
-	seq int64
-
-	gws     []*gateway
-	clients []*client
-	policy  kswitch.Policy
-	cards   []*power.Device
-	cardOn  []bool
-	shelf   *power.Device
-
-	flows   []flowState
-	flowIdx int // next trace flow
-	keepIdx int // next trace keepalive
-
-	// Optimal bookkeeping.
-	clientBytes []float64
-
-	// lastTraffic[c] is the last time client c sent or received anything;
-	// a terminal with no traffic for ~2 estimation windows is considered
-	// powered off and runs no BH2 decisions (the algorithm lives on the
-	// terminal).
-	lastTraffic []float64
-
-	decRNG  *rand.Rand
-	wakeRNG *rand.Rand
-
-	// Metrics.
-	powerTS, userTS, ispTS, gwTS, cardTS *stats.TimeSeries
-	moves, resolves, optGap              int
-	reasons                              map[bh2.Reason]int
-}
-
-func newSim(cfg Config) (*sim, error) {
-	nGW := cfg.Topo.NumGateways
-	nCl := cfg.Topo.NumClients()
-	end := cfg.Trace.Cfg.Duration
-
-	s := &sim{
-		cfg: cfg, end: end,
-		gws:         make([]*gateway, nGW),
-		clients:     make([]*client, nCl),
-		cards:       make([]*power.Device, cfg.DSLAM.Cards),
-		cardOn:      make([]bool, cfg.DSLAM.Cards),
-		clientBytes: make([]float64, nCl),
-		decRNG:      stats.NewRNG(cfg.Seed, 0xdec1de),
-		wakeRNG:     stats.NewRNG(cfg.Seed, 0x3a7e),
-		flows:       make([]flowState, len(cfg.Trace.Flows)),
-		reasons:     make(map[bh2.Reason]int),
-		lastTraffic: make([]float64, nCl),
-	}
-	for c := range s.lastTraffic {
-		s.lastTraffic[c] = math.Inf(-1)
-	}
-
-	bins := int(end / cfg.SampleEvery)
-	s.powerTS = stats.NewTimeSeries(0, end, bins)
-	s.userTS = stats.NewTimeSeries(0, end, bins)
-	s.ispTS = stats.NewTimeSeries(0, end, bins)
-	s.gwTS = stats.NewTimeSeries(0, end, bins)
-	s.cardTS = stats.NewTimeSeries(0, end, bins)
-
-	initState := power.Sleeping // §5.2: "the simulation starts with all the gateways sleeping"
-	idle, wake := cfg.IdleTimeout, cfg.WakeDelay
-	switch cfg.Scheme {
-	case NoSleep:
-		initState = power.On
-		idle = math.Inf(1)
-	case Optimal:
-		idle = math.Inf(1) // sleeps only by resolver fiat
-		wake = 0           // idealized instant migration
-	}
-
-	for g := 0; g < nGW; g++ {
-		dev := power.NewDevice(fmt.Sprintf("gw%d", g), power.GatewayWatts, initState, 0)
-		s.gws[g] = &gateway{
-			id:    g,
-			ctl:   soi.New(dev, idle, wake, 0),
-			modem: power.NewDevice(fmt.Sprintf("modem%d", g), power.ISPModemWatts, initState, 0),
-			est:   wifi.NewLoadEstimator(cfg.Trace.Cfg.BackhaulBps),
-		}
-	}
-	for c := 0; c < nCl; c++ {
-		s.clients[c] = &client{home: cfg.Topo.HomeOf[c], assigned: cfg.Topo.HomeOf[c]}
-	}
-
-	var err error
-	switch cfg.Scheme {
-	case SoIKSwitch, BH2KSwitch, BH2NoBackup, Centralized:
-		s.policy, err = kswitch.NewKSwitch(cfg.DSLAM, cfg.K, cfg.PortOf)
-	case SoIFullSwitch, BH2FullSwitch, Optimal:
-		s.policy, err = kswitch.NewFullSwitch(cfg.DSLAM, cfg.PortOf)
-	default:
-		s.policy, err = kswitch.NewFixed(cfg.DSLAM, cfg.PortOf)
-	}
-	if err != nil {
-		return nil, err
-	}
-	for cd := range s.cards {
-		st := power.Sleeping
-		if cfg.Scheme == NoSleep {
-			st = power.On
-		}
-		s.cards[cd] = power.NewDevice(fmt.Sprintf("card%d", cd), power.LineCardWatts, st, 0)
-		s.cardOn[cd] = cfg.Scheme == NoSleep
-	}
-	// No-sleep keeps every line active so cards and modems never sleep.
-	if cfg.Scheme == NoSleep {
-		for g := range s.gws {
-			s.policy.OnWake(g)
-		}
-		for cd := range s.cardOn {
-			s.cardOn[cd] = true
-		}
-	}
-	s.shelf = power.NewDevice("shelf", power.ShelfWatts, power.On, 0)
-
-	// Seed periodic events.
-	s.push(event{t: 0, kind: evTick})
-	if cfg.Scheme.usesBH2() {
-		r := stats.NewRNG(cfg.Seed, 0x0ff5e7)
-		for c := 0; c < nCl; c++ {
-			s.push(event{t: r.Float64() * cfg.BH2.PeriodSec, kind: evDecide, a: c})
-		}
-	}
-	if cfg.Scheme == Optimal || cfg.Scheme == Centralized {
-		s.push(event{t: cfg.OptimalEvery, kind: evResolve})
-	}
-	return s, nil
-}
-
-func (s *sim) push(e event) {
-	s.seq++
-	e.seq = s.seq
-	heap.Push(&s.h, e)
-}
 
 // run drives the merged event streams to the end of the trace.
 func (s *sim) run() {
@@ -271,19 +67,14 @@ func (s *sim) handle(e event) {
 	case evGwCheck:
 		s.gwCheck(s.gws[e.a], e.t)
 	case evDecide:
-		s.decide(e.a)
-		s.push(event{t: bh2.NextDecisionTime(s.decRNG, s.cfg.BH2, s.now), kind: evDecide, a: e.a})
+		s.strat.onDecide(s, e.a)
 	case evTick:
 		s.tick()
 		if t := s.now + s.cfg.SampleEvery; t <= s.end {
 			s.push(event{t: t, kind: evTick})
 		}
 	case evResolve:
-		if s.cfg.Scheme == Centralized {
-			s.resolveCentralized()
-		} else {
-			s.resolve()
-		}
+		s.strat.onResolve(s)
 		if t := s.now + s.cfg.OptimalEvery; t <= s.end {
 			s.push(event{t: t, kind: evResolve})
 		}
@@ -367,7 +158,7 @@ func (s *sim) gwCheck(g *gateway, scheduled float64) {
 
 // updateCards reconciles line-card power states with the switch policy.
 func (s *sim) updateCards(t float64) {
-	if s.cfg.Scheme == NoSleep {
+	if !s.strat.sleepCards() {
 		return
 	}
 	awake := s.policy.CardsAwake()
@@ -465,113 +256,6 @@ func (s *sim) scheduleCompletion(g *gateway) {
 
 // ---- traffic entry points ----
 
-// routeFor picks the gateway that will carry new traffic from client c,
-// waking devices as the scheme allows.
-func (s *sim) routeFor(c int) int {
-	cl := s.clients[c]
-	switch {
-	case s.cfg.Scheme.usesBH2():
-		g := s.gws[cl.assigned]
-		if g.ctl.State() == power.Sleeping {
-			// Assigned gateway vanished: run an immediate decision (the
-			// terminal notices missing beacons right away).
-			s.applyDecision(c, bh2.Decide(s.decRNG, s.cfg.BH2, cl.home, cl.assigned, s.views(c)))
-		}
-		return cl.assigned
-	case s.cfg.Scheme == Optimal:
-		if g := s.gws[cl.assigned]; g.ctl.Awake() {
-			return cl.assigned
-		}
-		// Prefer any open in-range gateway; else open home by fiat.
-		for _, gw := range s.cfg.Topo.InRange(c) {
-			if s.gws[gw].ctl.Awake() {
-				cl.assigned = gw
-				return gw
-			}
-		}
-		cl.assigned = cl.home
-		return cl.home
-	case s.cfg.Scheme == Centralized:
-		// The controller's assignment is authoritative; it may wake the
-		// assigned gateway from the ISP side (touch does), but traffic
-		// queues for the full wake delay — no fiat here. Prefer an awake
-		// in-range gateway when the assigned one is asleep.
-		if g := s.gws[cl.assigned]; g.ctl.State() != power.Sleeping {
-			return cl.assigned
-		}
-		for _, gw := range s.cfg.Topo.InRange(c) {
-			if s.gws[gw].ctl.Awake() {
-				cl.assigned = gw
-				return gw
-			}
-		}
-		return cl.assigned
-	default:
-		return cl.home
-	}
-}
-
-// resolveCentralized is the §3.3 coordinated variant: the same per-minute
-// solve as Optimal, but applied under physical constraints — woken gateways
-// pay the wake delay, in-flight flows stay where they are, and gateways
-// left out of the solution drain and sleep through their ordinary idle
-// timeout rather than by fiat.
-func (s *sim) resolveCentralized() {
-	nGW := s.cfg.Topo.NumGateways
-	in := optimal.Instance{Q: 1, Backup: 0, Caps: make([]float64, nGW)}
-	for j := range in.Caps {
-		in.Caps[j] = s.cfg.Trace.Cfg.BackhaulBps
-	}
-	var users []int
-	for c, bytes := range s.clientBytes {
-		if bytes <= 0 {
-			continue
-		}
-		d := bytes * 8 / s.cfg.OptimalEvery
-		if d > s.cfg.Trace.Cfg.BackhaulBps {
-			d = s.cfg.Trace.Cfg.BackhaulBps
-		}
-		row := make([]float64, nGW)
-		for _, gw := range s.cfg.Topo.InRange(c) {
-			row[gw] = s.cfg.Topo.LinkBps(c, gw)
-			if row[gw] < d {
-				row[gw] = d
-			}
-		}
-		in.W = append(in.W, row)
-		in.Demands = append(in.Demands, d)
-		users = append(users, c)
-	}
-	for c := range s.clientBytes {
-		s.clientBytes[c] = 0
-	}
-	s.resolves++
-	if len(users) == 0 {
-		return // nothing to coordinate; gateways drain on their own
-	}
-	sol, err := optimal.Solve(in, 50000)
-	if err != nil {
-		return
-	}
-	if !sol.Optimal {
-		s.optGap++
-	}
-	for ui, c := range users {
-		target := sol.Assign[ui][0]
-		if s.clients[c].assigned != target {
-			s.clients[c].assigned = target
-			s.moves++
-		}
-	}
-	// Wake the chosen gateways (ISP-side remote wake); everything else is
-	// left to drain naturally.
-	for gwID, g := range s.gws {
-		if sol.Open[gwID] && g.ctl.State() == power.Sleeping {
-			s.touch(g, s.now)
-		}
-	}
-}
-
 func (s *sim) flowArrival(idx, c int, up bool) {
 	f := &s.flows[idx]
 	f.up = up
@@ -580,7 +264,7 @@ func (s *sim) flowArrival(idx, c int, up bool) {
 		return // the evaluation simulates downlink only
 	}
 	s.lastTraffic[c] = s.now
-	gw := s.routeFor(c)
+	gw := s.strat.route(s, c)
 	g := s.gws[gw]
 	s.elapse(g)
 	capBps := s.linkBps(c, gw)
@@ -603,7 +287,7 @@ func (s *sim) flowArrival(idx, c int, up bool) {
 
 func (s *sim) keepalive(c int, bytes int64) {
 	s.lastTraffic[c] = s.now
-	gw := s.routeFor(c)
+	gw := s.strat.route(s, c)
 	g := s.gws[gw]
 	s.touch(g, s.now)
 	g.sn.Advance(wifi.FramesFor(bytes))
@@ -618,184 +302,6 @@ func (s *sim) linkBps(c, gw int) float64 {
 		return w
 	}
 	return s.cfg.Topo.NeighborBps
-}
-
-// ---- BH2 ----
-
-// views assembles what terminal c can passively observe (§3.2): awake
-// gateways in range with their estimated loads.
-func (s *sim) views(c int) []bh2.GatewayView {
-	rng := s.cfg.Topo.InRange(c)
-	out := make([]bh2.GatewayView, 0, len(rng))
-	for _, gw := range rng {
-		g := s.gws[gw]
-		out = append(out, bh2.GatewayView{
-			ID:     gw,
-			Awake:  g.ctl.State() == power.On,
-			Load:   g.est.Utilization(s.now, s.cfg.BH2.EstWindow),
-			Active: g.est.ActiveWithin(s.now, s.cfg.BH2.EstWindow),
-		})
-	}
-	return out
-}
-
-func (s *sim) decide(c int) {
-	// Only powered-on terminals run the algorithm; "recent traffic" is the
-	// observable proxy for the terminal being on (keepalives arrive every
-	// few seconds while it is).
-	if s.now-s.lastTraffic[c] > 2*s.cfg.BH2.EstWindow {
-		return
-	}
-	views := s.views(c)
-	d := bh2.Decide(s.decRNG, s.cfg.BH2, s.clients[c].home, s.clients[c].assigned, views)
-	if s.cfg.DebugDecisions != nil {
-		s.cfg.DebugDecisions(s.now, c, views, d)
-	}
-	s.applyDecision(c, d)
-}
-
-func (s *sim) applyDecision(c int, d bh2.Decision) {
-	s.reasons[d.Reason]++
-	cl := s.clients[c]
-	switch d.Action {
-	case bh2.Move:
-		if cl.assigned != d.Target {
-			cl.assigned = d.Target
-			cl.pendingHome = false
-			s.moves++
-		}
-	case bh2.ReturnHome:
-		home := s.gws[cl.home]
-		if home.ctl.Awake() {
-			cl.assigned = cl.home
-			cl.pendingHome = false
-			return
-		}
-		if s.cfg.BH2.WakeUpHome {
-			s.touch(home, s.now) // wake it up if necessary (§3.1)
-		}
-		if s.gws[cl.assigned].ctl.Awake() && cl.assigned != cl.home {
-			// Keep riding the current remote until home is operative.
-			cl.pendingHome = true
-		} else {
-			cl.assigned = cl.home // nothing usable: queue at home
-			cl.pendingHome = false
-		}
-	}
-}
-
-// ---- Optimal ----
-
-func (s *sim) resolve() {
-	nGW := s.cfg.Topo.NumGateways
-	in := optimal.Instance{Q: 1, Backup: 0, Caps: make([]float64, nGW)}
-	for j := range in.Caps {
-		in.Caps[j] = s.cfg.Trace.Cfg.BackhaulBps
-	}
-	var users []int
-	for c, bytes := range s.clientBytes {
-		if bytes <= 0 {
-			continue
-		}
-		d := bytes * 8 / s.cfg.OptimalEvery
-		if d > s.cfg.Trace.Cfg.BackhaulBps {
-			d = s.cfg.Trace.Cfg.BackhaulBps
-		}
-		row := make([]float64, nGW)
-		for _, gw := range s.cfg.Topo.InRange(c) {
-			row[gw] = s.cfg.Topo.LinkBps(c, gw)
-			if row[gw] < d {
-				row[gw] = d // in-range gateways stay eligible even at full-rate demand
-			}
-		}
-		in.W = append(in.W, row)
-		in.Demands = append(in.Demands, d)
-		users = append(users, c)
-		s.clientBytes[c] = 0
-	}
-	for c := range s.clientBytes {
-		s.clientBytes[c] = 0
-	}
-	s.resolves++
-	if len(users) == 0 {
-		// Nobody active: close everything.
-		for _, g := range s.gws {
-			s.closeGateway(g)
-		}
-		return
-	}
-	sol, err := optimal.Solve(in, 50000)
-	if err != nil {
-		// Cannot happen with the fallback-eligible W above; keep state.
-		return
-	}
-	if !sol.Optimal {
-		s.optGap++
-	}
-	for ui, c := range users {
-		s.clients[c].assigned = sol.Assign[ui][0]
-	}
-	// Open/close gateways; migrate flows off closing ones first.
-	for gwID, g := range s.gws {
-		if sol.Open[gwID] {
-			if g.ctl.State() != power.On {
-				s.touch(g, s.now) // WakeDelay 0: usable immediately
-				s.gwCheck(g, s.now)
-			}
-		}
-	}
-	for gwID, g := range s.gws {
-		if sol.Open[gwID] || g.ctl.State() == power.Sleeping {
-			continue
-		}
-		s.migrateFlows(g)
-		s.closeGateway(g)
-	}
-	s.policy.Repack()
-	s.updateCards(s.now)
-}
-
-// migrateFlows moves g's in-flight flows to their clients' new gateways
-// with zero downtime (the idealized migration of §5.1).
-func (s *sim) migrateFlows(g *gateway) {
-	if len(g.flows) == 0 {
-		return
-	}
-	s.elapse(g)
-	moving := g.flows
-	g.flows = nil
-	g.complEpoch++
-	for _, fi := range moving {
-		f := &s.flows[fi]
-		target := s.clients[f.client].assigned
-		tg := s.gws[target]
-		if !tg.ctl.Awake() {
-			// Assignment landed on a closed gateway (client had no demand
-			// this round): ride any open in-range one.
-			target = s.routeFor(f.client)
-			tg = s.gws[target]
-		}
-		s.elapse(tg)
-		f.gw = target
-		f.capBps = s.linkBps(f.client, target)
-		if r := s.cfg.Trace.Flows[fi].Rate; r > 0 && r < f.capBps {
-			f.capBps = r
-		}
-		tg.flows = append(tg.flows, fi)
-		s.touch(tg, s.now)
-		s.scheduleCompletion(tg)
-	}
-}
-
-func (s *sim) closeGateway(g *gateway) {
-	if g.ctl.State() == power.Sleeping {
-		return
-	}
-	s.elapse(g)
-	g.ctl.Sleep(s.now)
-	g.modem.SetState(s.now, power.Sleeping)
-	s.policy.OnSleep(g.id)
-	g.est.Reset()
 }
 
 // ---- metrics ----

@@ -1,0 +1,31 @@
+package sim
+
+// event kinds.
+const (
+	evComplete = iota // flow completion check on gateway A
+	evGwCheck         // gateway A state transition due
+	evDecide          // BH2 decision for client A
+	evTick            // metric sampling + estimator observation
+	evResolve         // Optimal re-solve
+)
+
+type event struct {
+	t    float64
+	seq  int64 // FIFO tie-break for determinism
+	kind int
+	a    int
+	aux  int64 // epoch for evComplete staleness
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

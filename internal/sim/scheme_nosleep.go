@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"math"
+
+	"insomnia/internal/kswitch"
+	"insomnia/internal/power"
+)
+
+// noSleepScheme is the §5.1 baseline: every device is on from t=0 and the
+// infinite idle timeout means nothing ever sleeps. It anchors the savings
+// comparisons of Figs 6-8 and the headline numbers.
+type noSleepScheme struct{ baseScheme }
+
+func (noSleepScheme) initialState() power.State { return power.On }
+
+func (noSleepScheme) timeouts(cfg Config) (float64, float64) {
+	return math.Inf(1), cfg.WakeDelay
+}
+
+func (noSleepScheme) newPolicy(cfg Config) (kswitch.Policy, error) {
+	return fixedFabric.build(cfg)
+}
+
+// postInit marks every line active so cards and modems never sleep.
+func (noSleepScheme) postInit(s *sim) {
+	for g := range s.gws {
+		s.policy.OnWake(g)
+	}
+	for cd := range s.cardOn {
+		s.cardOn[cd] = true
+	}
+}
+
+func (noSleepScheme) sleepCards() bool { return false }

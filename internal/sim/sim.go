@@ -82,11 +82,6 @@ func (s Scheme) String() string {
 	}
 }
 
-// usesBH2 reports whether the scheme runs the BH² terminal algorithm.
-func (s Scheme) usesBH2() bool {
-	return s == BH2KSwitch || s == BH2FullSwitch || s == BH2NoBackup
-}
-
 // Config describes one simulation run.
 type Config struct {
 	Trace *trace.Trace       // generated workload (downlink flows drive QoS)

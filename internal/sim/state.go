@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"insomnia/internal/bh2"
+	"insomnia/internal/kswitch"
+	"insomnia/internal/power"
+	"insomnia/internal/soi"
+	"insomnia/internal/stats"
+	"insomnia/internal/wifi"
+)
+
+type flowState struct {
+	gw        int
+	client    int
+	rem       float64 // remaining bytes
+	capBps    float64 // min(wireless link, application rate) at routing time
+	done      bool
+	up        bool
+	completed float64
+
+	// Wake-stall accounting: time the flow sat waiting for its gateway to
+	// finish waking. Fig 9a's paper-comparable variant charges only this
+	// to the completion time.
+	stallFrom float64 // >=0 while waiting; -1 otherwise
+	stalled   float64 // accumulated wake-wait seconds
+}
+
+type gateway struct {
+	id         int
+	ctl        *soi.Controller
+	modem      *power.Device
+	flows      []int // indices into sim.flows
+	lastElapse float64
+	complEpoch int64
+
+	sn           wifi.SeqCounter
+	byteResidual float64
+	est          *wifi.LoadEstimator
+}
+
+type client struct {
+	home        int
+	assigned    int
+	pendingHome bool
+}
+
+type sim struct {
+	cfg   Config
+	strat strategy
+	now   float64
+	end   float64
+	h     eventHeap
+	seq   int64
+
+	gws     []*gateway
+	clients []*client
+	policy  kswitch.Policy
+	cards   []*power.Device
+	cardOn  []bool
+	shelf   *power.Device
+
+	flows   []flowState
+	flowIdx int // next trace flow
+	keepIdx int // next trace keepalive
+
+	// Optimal bookkeeping.
+	clientBytes []float64
+
+	// lastTraffic[c] is the last time client c sent or received anything;
+	// a terminal with no traffic for ~2 estimation windows is considered
+	// powered off and runs no BH2 decisions (the algorithm lives on the
+	// terminal).
+	lastTraffic []float64
+
+	decRNG  *rand.Rand
+	wakeRNG *rand.Rand
+
+	// Metrics.
+	powerTS, userTS, ispTS, gwTS, cardTS *stats.TimeSeries
+	moves, resolves, optGap              int
+	reasons                              map[bh2.Reason]int
+}
+
+func newSim(cfg Config) (*sim, error) {
+	strat, err := newStrategy(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	nGW := cfg.Topo.NumGateways
+	nCl := cfg.Topo.NumClients()
+	end := cfg.Trace.Cfg.Duration
+
+	s := &sim{
+		cfg: cfg, strat: strat, end: end,
+		gws:         make([]*gateway, nGW),
+		clients:     make([]*client, nCl),
+		cards:       make([]*power.Device, cfg.DSLAM.Cards),
+		cardOn:      make([]bool, cfg.DSLAM.Cards),
+		clientBytes: make([]float64, nCl),
+		decRNG:      stats.NewRNG(cfg.Seed, 0xdec1de),
+		wakeRNG:     stats.NewRNG(cfg.Seed, 0x3a7e),
+		flows:       make([]flowState, len(cfg.Trace.Flows)),
+		reasons:     make(map[bh2.Reason]int),
+		lastTraffic: make([]float64, nCl),
+	}
+	for c := range s.lastTraffic {
+		s.lastTraffic[c] = math.Inf(-1)
+	}
+
+	bins := int(end / cfg.SampleEvery)
+	s.powerTS = stats.NewTimeSeries(0, end, bins)
+	s.userTS = stats.NewTimeSeries(0, end, bins)
+	s.ispTS = stats.NewTimeSeries(0, end, bins)
+	s.gwTS = stats.NewTimeSeries(0, end, bins)
+	s.cardTS = stats.NewTimeSeries(0, end, bins)
+
+	// §5.2: "the simulation starts with all the gateways sleeping" — unless
+	// the scheme (no-sleep) says otherwise.
+	initState := strat.initialState()
+	idle, wake := strat.timeouts(cfg)
+
+	for g := 0; g < nGW; g++ {
+		dev := power.NewDevice(fmt.Sprintf("gw%d", g), power.GatewayWatts, initState, 0)
+		s.gws[g] = &gateway{
+			id:    g,
+			ctl:   soi.New(dev, idle, wake, 0),
+			modem: power.NewDevice(fmt.Sprintf("modem%d", g), power.ISPModemWatts, initState, 0),
+			est:   wifi.NewLoadEstimator(cfg.Trace.Cfg.BackhaulBps),
+		}
+	}
+	for c := 0; c < nCl; c++ {
+		s.clients[c] = &client{home: cfg.Topo.HomeOf[c], assigned: cfg.Topo.HomeOf[c]}
+	}
+
+	if s.policy, err = strat.newPolicy(cfg); err != nil {
+		return nil, err
+	}
+	for cd := range s.cards {
+		s.cards[cd] = power.NewDevice(fmt.Sprintf("card%d", cd), power.LineCardWatts, initState, 0)
+		s.cardOn[cd] = initState == power.On
+	}
+	s.shelf = power.NewDevice("shelf", power.ShelfWatts, power.On, 0)
+	strat.postInit(s)
+
+	// Seed periodic events.
+	s.push(event{t: 0, kind: evTick})
+	strat.seedEvents(s)
+	return s, nil
+}
+
+func (s *sim) push(e event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.h, e)
+}
