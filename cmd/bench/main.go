@@ -1,0 +1,182 @@
+// Command bench measures the repository's macro performance scenarios and
+// writes one benchmark-trajectory record (BENCH_<date>.json, see
+// internal/perf) so successive PRs leave comparable performance data:
+//
+//   - the §5 four-scheme day comparison over the office scenario (the same
+//     workload as BenchmarkSchemeComparisonSerial in bench_test.go);
+//   - the city scenario: a 10k-gateway / 100k-client residential metro
+//     (trace.DefaultCityConfig over topology.GridCity), duration-bounded so
+//     a trajectory point costs minutes, not hours.
+//
+// Usage:
+//
+//	bench [-out BENCH_2026-07-29.json] [-seed 2]
+//	      [-city=true] [-city-gateways 10000] [-city-clients 100000] [-city-duration 1800]
+//	      [-comparison=true] [-cpuprofile cpu.out] [-memprofile mem.out]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"insomnia/internal/dsl"
+	"insomnia/internal/perf"
+	"insomnia/internal/runner"
+	"insomnia/internal/sim"
+	"insomnia/internal/topology"
+	"insomnia/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	out := flag.String("out", perf.DefaultPath(time.Now()), "trajectory output file")
+	seed := flag.Int64("seed", 2, "RNG seed")
+	comparison := flag.Bool("comparison", true, "run the four-scheme day comparison")
+	city := flag.Bool("city", true, "run the city scenario")
+	cityGWs := flag.Int("city-gateways", 10000, "city gateways")
+	cityClients := flag.Int("city-clients", 100000, "city terminal devices")
+	cityDur := flag.Float64("city-duration", 1800, "simulated seconds for the city runs")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
+	flag.Parse()
+
+	// cleanup is idempotent: deferred for the normal path, called
+	// explicitly before Fatal (which skips defers) so a failed scenario
+	// still leaves a parseable CPU profile.
+	cleanup, err := perf.Profile(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+
+	rep := perf.NewReport(time.Now().Format("2006-01-02"))
+	err = func() error {
+		if *comparison {
+			if err := benchComparison(rep, *seed); err != nil {
+				return err
+			}
+		}
+		if *city {
+			if err := benchCity(rep, *seed, *cityGWs, *cityClients, *cityDur); err != nil {
+				return err
+			}
+		}
+		return rep.WriteFile(*out)
+	}()
+	if err != nil {
+		cleanup()
+		log.Fatal(err)
+	}
+	for _, e := range rep.Entries {
+		log.Printf("%-28s %8.2fs  %6.1f MB alloc", e.Name, e.WallSeconds, float64(e.AllocBytes)/1e6)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// benchComparison mirrors BenchmarkSchemeComparisonSerial: one shared
+// office-day scenario, four schemes on one worker.
+func benchComparison(rep *perf.Report, seed int64) error {
+	tr, err := trace.Generate(trace.DefaultSimConfig(seed))
+	if err != nil {
+		return err
+	}
+	g, err := topology.OverlapGraph(tr.Cfg.APs, topology.DefaultMeanInRange, seed)
+	if err != nil {
+		return err
+	}
+	tp, err := topology.FromOverlap(g, tr.ClientAP)
+	if err != nil {
+		return err
+	}
+	scenario := fmt.Sprintf("office-day: %d clients / %d gateways / %.0fs, seed %d",
+		tr.Cfg.Clients, tr.Cfg.APs, tr.Cfg.Duration, seed)
+	return rep.Measure("scheme-comparison-serial", scenario, func() (map[string]float64, error) {
+		schemes := []sim.Scheme{sim.NoSleep, sim.SoI, sim.SoIKSwitch, sim.BH2KSwitch}
+		jobs := runner.SchemeJobs(sim.Config{Trace: tr, Topo: tp, Seed: seed}, schemes)
+		outs := (runner.Runner{Workers: 1}).Run(jobs)
+		if err := runner.FirstErr(outs); err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"flows":          float64(len(tr.Flows)),
+			"keepalives":     float64(len(tr.Keepalives)),
+			"soi_savings":    outs[1].Result.SavingsVs(outs[0].Result),
+			"bh2k_savings":   outs[3].Result.SavingsVs(outs[0].Result),
+			"bh2k_wakeups":   float64(outs[3].Result.Wakeups),
+			"schemes_per_op": float64(len(schemes)),
+		}, nil
+	})
+}
+
+// benchCity runs the city scenario: trace generation is measured as its own
+// entry, then NoSleep (baseline), SoI and BH2 each get a trajectory point.
+func benchCity(rep *perf.Report, seed int64, gws, clients int, duration float64) error {
+	cfg := trace.DefaultCityConfig(seed)
+	cfg.APs, cfg.Clients, cfg.Duration = gws, clients, duration
+	scenario := fmt.Sprintf("city: %d clients / %d gateways / %.0fs, seed %d",
+		clients, gws, duration, seed)
+
+	var tr *trace.Trace
+	err := rep.Measure("city-trace-gen", scenario, func() (map[string]float64, error) {
+		var err error
+		tr, err = trace.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"flows":      float64(len(tr.Flows)),
+			"keepalives": float64(len(tr.Keepalives)),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	g, err := topology.GridCity(gws, topology.DefaultMeanInRange, seed)
+	if err != nil {
+		return err
+	}
+	tp, err := topology.FromOverlap(g, tr.ClientAP)
+	if err != nil {
+		return err
+	}
+	// A metro head-end: enough 48-port cards for every gateway, card count
+	// rounded to the k-switch group size.
+	cards := (gws + 47) / 48
+	if r := cards % 4; r != 0 {
+		cards += 4 - r
+	}
+	shelf := dsl.DSLAM{Cards: cards, PortsPerCard: 48}
+
+	var base *sim.Result
+	for _, sc := range []sim.Scheme{sim.NoSleep, sim.SoI, sim.BH2KSwitch} {
+		sc := sc
+		err := rep.Measure("city-"+sc.String(), scenario, func() (map[string]float64, error) {
+			res, err := sim.Run(sim.Config{
+				Trace: tr, Topo: tp, Scheme: sc, Seed: seed, DSLAM: shelf, K: 4,
+			})
+			if err != nil {
+				return nil, err
+			}
+			m := map[string]float64{
+				"wakeups":         float64(res.Wakeups),
+				"mean_online_gws": sim.MeanOver(res.OnlineGWs, 0, duration/3600),
+			}
+			if sc == sim.NoSleep {
+				base = res
+			} else if base != nil {
+				m["savings"] = res.SavingsVs(base)
+			}
+			if res.Moves > 0 {
+				m["moves"] = float64(res.Moves)
+			}
+			return m, nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"insomnia/internal/figures"
+	"insomnia/internal/perf"
 	"insomnia/internal/sim"
 	"insomnia/internal/testbed"
 )
@@ -32,11 +33,20 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate")
 	liveScale := flag.Float64("livescale", 0.005, "testbed wall-seconds per virtual second (fig 12)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Parse()
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	// check routes every fatal path through this idempotent cleanup so the
+	// CPU profile is finalized even on errors (log.Fatal skips defers).
+	cleanup, err := perf.Profile(*cpuprofile, *memprofile)
+	if err != nil {
 		log.Fatal(err)
 	}
+	defer cleanup()
+	cleanupProfiles = cleanup
+
+	check(os.MkdirAll(*out, 0o755))
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 
 	var day *figures.DayRuns
@@ -45,9 +55,7 @@ func main() {
 		log.Printf("running day simulations (%d run(s), 8 schemes; the Optimal ILP dominates runtime)...", *runs)
 		var err error
 		day, err = averagedDayRuns(*seed, *runs, *workers)
-		if err != nil {
-			log.Fatal(err)
-		}
+		check(err)
 	}
 
 	if want("2") {
@@ -204,8 +212,14 @@ func create(dir, name string) *os.File {
 	return f
 }
 
+// cleanupProfiles finalizes -cpuprofile/-memprofile output; main replaces
+// it once profiling is configured (it is idempotent and safe to call more
+// than once).
+var cleanupProfiles = func() {}
+
 func check(err error) {
 	if err != nil {
+		cleanupProfiles()
 		log.Fatal(err)
 	}
 }

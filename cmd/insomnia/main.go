@@ -11,9 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"insomnia/internal/bh2"
+	"insomnia/internal/perf"
 	"insomnia/internal/sim"
 	"insomnia/internal/topology"
 	"insomnia/internal/trace"
@@ -43,6 +43,8 @@ func main() {
 	high := flag.Float64("high", 0.50, "BH2 high threshold")
 	backup := flag.Int("backup", 1, "BH2 backup gateways")
 	csvOut := flag.Bool("csv", false, "emit hourly CSV instead of a summary")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Parse()
 
 	scheme, ok := schemes[*schemeName]
@@ -50,34 +52,66 @@ func main() {
 		log.Fatalf("unknown scheme %q", *schemeName)
 	}
 
-	cfg := trace.DefaultSimConfig(*seed)
-	cfg.Clients, cfg.APs = *clients, *gateways
-	tr, err := trace.Generate(cfg)
+	// cleanup is idempotent: deferred for the normal path, called
+	// explicitly before Fatal (which skips defers) so profiles are always
+	// finalized.
+	cleanup, err := perf.Profile(*cpuprofile, *memprofile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := topology.OverlapGraph(*gateways, *density, *seed)
-	if err != nil {
+	defer cleanup()
+	if err := run(options{
+		scheme: scheme, seed: *seed,
+		clients: *clients, gateways: *gateways, density: *density,
+		low: *low, high: *high, backup: *backup, csv: *csvOut,
+	}); err != nil {
+		cleanup()
 		log.Fatal(err)
+	}
+}
+
+// options mirrors the flag set so run's call site names every value —
+// adjacent same-typed parameters (density/low/high) transpose too easily
+// positionally.
+type options struct {
+	scheme            sim.Scheme
+	seed              int64
+	clients, gateways int
+	density           float64
+	low, high         float64
+	backup            int
+	csv               bool
+}
+
+func run(o options) error {
+	cfg := trace.DefaultSimConfig(o.seed)
+	cfg.Clients, cfg.APs = o.clients, o.gateways
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	g, err := topology.OverlapGraph(o.gateways, o.density, o.seed)
+	if err != nil {
+		return err
 	}
 	tp, err := topology.FromOverlap(g, tr.ClientAP)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	params := bh2.DefaultParams()
-	params.Low, params.High, params.Backup = *low, *high, *backup
+	params.Low, params.High, params.Backup = o.low, o.high, o.backup
 
-	base, err := sim.Run(sim.Config{Trace: tr, Topo: tp, Scheme: sim.NoSleep, Seed: *seed})
+	base, err := sim.Run(sim.Config{Trace: tr, Topo: tp, Scheme: sim.NoSleep, Seed: o.seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	res, err := sim.Run(sim.Config{Trace: tr, Topo: tp, Scheme: scheme, Seed: *seed, BH2: params})
+	res, err := sim.Run(sim.Config{Trace: tr, Topo: tp, Scheme: o.scheme, Seed: o.seed, BH2: params})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	if *csvOut {
+	if o.csv {
 		sav := sim.SavingsSeries(res, base)
 		fmt.Println("hour,savings_pct,online_gateways,online_cards")
 		bins := res.OnlineGWs.Bins()
@@ -92,12 +126,12 @@ func main() {
 			n := float64(per)
 			fmt.Printf("%d,%.2f,%.2f,%.2f\n", h, s/n, gws/n, cards/n)
 		}
-		return
+		return nil
 	}
 
-	fmt.Printf("scheme:            %v\n", scheme)
+	fmt.Printf("scheme:            %v\n", o.scheme)
 	fmt.Printf("trace:             %d flows, %d keepalives over %d clients / %d gateways\n",
-		len(tr.Flows), len(tr.Keepalives), *clients, *gateways)
+		len(tr.Flows), len(tr.Keepalives), o.clients, o.gateways)
 	fmt.Printf("energy:            %.1f kWh (no-sleep %.1f kWh)\n",
 		res.Energy.Total()/3.6e6, base.Energy.Total()/3.6e6)
 	fmt.Printf("savings:           %.1f%%\n", res.SavingsVs(base)*100)
@@ -112,5 +146,5 @@ func main() {
 	if res.Resolves > 0 {
 		fmt.Printf("ILP resolves:      %d (%d hit the node budget)\n", res.Resolves, res.OptGap)
 	}
-	os.Exit(0)
+	return nil
 }

@@ -45,6 +45,12 @@ type Policy interface {
 	// CardsAwake returns, per card, whether any active line terminates on
 	// it (an awake card burns power.LineCardWatts).
 	CardsAwake() []bool
+	// CardsAwakeInto is CardsAwake writing into buf (reused when cap
+	// suffices) so per-sample callers allocate nothing.
+	CardsAwakeInto(buf []bool) []bool
+	// AwakeCardCount returns the number of awake cards in O(1); the count
+	// is maintained incrementally as lines activate, deactivate and move.
+	AwakeCardCount() int
 }
 
 // AwakeCount counts true entries — the number of line cards burning power.
@@ -58,12 +64,18 @@ func AwakeCount(cards []bool) int {
 	return n
 }
 
-// base holds the shared bookkeeping of all policies.
+// base holds the shared bookkeeping of all policies. Card occupancy is
+// tracked incrementally — every mutation of line activity or position goes
+// through setActive/move — so per-sample queries (AwakeCardCount) are O(1)
+// instead of rescanning all lines.
 type base struct {
-	d      dsl.DSLAM
-	portOf []int // line -> port
-	lineAt []int // port -> line, -1 when unwired
-	active []bool
+	d          dsl.DSLAM
+	portOf     []int // line -> port
+	lineAt     []int // port -> line, -1 when unwired
+	active     []bool
+	activeN    int   // number of active lines
+	cardActive []int // per card: active lines terminating on it
+	awakeCards int   // cards with cardActive > 0
 }
 
 func newBase(d dsl.DSLAM, initialPort []int) (*base, error) {
@@ -71,10 +83,11 @@ func newBase(d dsl.DSLAM, initialPort []int) (*base, error) {
 		return nil, err
 	}
 	b := &base{
-		d:      d,
-		portOf: append([]int(nil), initialPort...),
-		lineAt: make([]int, d.Ports()),
-		active: make([]bool, len(initialPort)),
+		d:          d,
+		portOf:     append([]int(nil), initialPort...),
+		lineAt:     make([]int, d.Ports()),
+		active:     make([]bool, len(initialPort)),
+		cardActive: make([]int, d.Cards),
 	}
 	for p := range b.lineAt {
 		b.lineAt[p] = -1
@@ -93,24 +106,43 @@ func newBase(d dsl.DSLAM, initialPort []int) (*base, error) {
 
 func (b *base) PortOf(line int) int { return b.portOf[line] }
 
-func (b *base) ActiveLines() int {
-	n := 0
-	for _, a := range b.active {
-		if a {
-			n++
-		}
+func (b *base) ActiveLines() int { return b.activeN }
+
+func (b *base) CardsAwake() []bool { return b.CardsAwakeInto(nil) }
+
+func (b *base) CardsAwakeInto(buf []bool) []bool {
+	if cap(buf) < b.d.Cards {
+		buf = make([]bool, b.d.Cards)
 	}
-	return n
+	buf = buf[:b.d.Cards]
+	for cd, n := range b.cardActive {
+		buf[cd] = n > 0
+	}
+	return buf
 }
 
-func (b *base) CardsAwake() []bool {
-	out := make([]bool, b.d.Cards)
-	for line, p := range b.portOf {
-		if b.active[line] {
-			out[b.d.CardOf(p)] = true
+func (b *base) AwakeCardCount() int { return b.awakeCards }
+
+// setActive flips a line's activity, maintaining the card occupancy counts.
+func (b *base) setActive(line int, v bool) {
+	if b.active[line] == v {
+		return
+	}
+	b.active[line] = v
+	cd := b.d.CardOf(b.portOf[line])
+	if v {
+		b.activeN++
+		b.cardActive[cd]++
+		if b.cardActive[cd] == 1 {
+			b.awakeCards++
+		}
+	} else {
+		b.activeN--
+		b.cardActive[cd]--
+		if b.cardActive[cd] == 0 {
+			b.awakeCards--
 		}
 	}
-	return out
 }
 
 // move re-terminates line onto port dst, swapping with whatever line is
@@ -131,6 +163,19 @@ func (b *base) move(line, dst int) {
 	b.lineAt[src] = other
 	b.portOf[line] = dst
 	b.lineAt[dst] = line
+	if b.active[line] {
+		sc, dc := b.d.CardOf(src), b.d.CardOf(dst)
+		if sc != dc {
+			b.cardActive[sc]--
+			if b.cardActive[sc] == 0 {
+				b.awakeCards--
+			}
+			b.cardActive[dc]++
+			if b.cardActive[dc] == 1 {
+				b.awakeCards++
+			}
+		}
+	}
 }
 
 // Fixed is the no-switching policy.
@@ -146,10 +191,10 @@ func NewFixed(d dsl.DSLAM, initialPort []int) (*Fixed, error) {
 }
 
 // OnWake marks the line active; no remapping.
-func (f *Fixed) OnWake(line int) { f.active[line] = true }
+func (f *Fixed) OnWake(line int) { f.setActive(line, true) }
 
 // OnSleep marks the line inactive.
-func (f *Fixed) OnSleep(line int) { f.active[line] = false }
+func (f *Fixed) OnSleep(line int) { f.setActive(line, false) }
 
 // Repack is a no-op.
 func (f *Fixed) Repack() {}
@@ -179,35 +224,26 @@ func NewKSwitch(d dsl.DSLAM, k int, initialPort []int) (*KSwitch, error) {
 // K returns the switch size.
 func (s *KSwitch) K() int { return s.groupCards }
 
-// switchPorts returns the k candidate ports of the switch owning the given
-// port: same slot, every card of the group, ordered card 0..k-1.
-func (s *KSwitch) switchPorts(port int) []int {
-	slot := s.d.SlotOf(port)
-	group := s.d.CardOf(port) / s.groupCards
-	out := make([]int, s.groupCards)
-	for i := 0; i < s.groupCards; i++ {
-		card := group*s.groupCards + i
-		out[i] = card*s.d.PortsPerCard + slot
-	}
-	return out
-}
-
 // OnWake remaps the waking line within its switch so active lines pack
 // toward the highest-numbered card of the group: prefer a port on a card
 // that is already awake (highest such card), else the highest card whose
 // port holds no active line. Displaced sleeping lines swap into the waking
 // line's old port — a pure relay operation, invisible to both users.
 func (s *KSwitch) OnWake(line int) {
-	ports := s.switchPorts(s.portOf[line])
-	awake := s.CardsAwake()
+	slot := s.d.SlotOf(s.portOf[line])
+	group := s.d.CardOf(s.portOf[line]) / s.groupCards
 	best := -1
-	// First pass: awake cards with a non-active port at our slot.
-	for i := len(ports) - 1; i >= 0; i-- {
-		p := ports[i]
+	// First pass: awake cards with a non-active port at our slot. Candidate
+	// ports are enumerated in place (highest card first) and card activity
+	// read from the incremental occupancy counts, so a wake allocates
+	// nothing.
+	for i := s.groupCards - 1; i >= 0; i-- {
+		card := group*s.groupCards + i
+		p := card*s.d.PortsPerCard + slot
 		if other := s.lineAt[p]; other != -1 && s.active[other] {
 			continue
 		}
-		if awake[s.d.CardOf(p)] {
+		if s.cardActive[card] > 0 {
 			best = p
 			break
 		}
@@ -218,12 +254,12 @@ func (s *KSwitch) OnWake(line int) {
 	if best != -1 {
 		s.move(line, best)
 	}
-	s.active[line] = true
+	s.setActive(line, true)
 }
 
 // OnSleep marks the line inactive; its position is kept (remaps happen at
 // wake time only).
-func (s *KSwitch) OnSleep(line int) { s.active[line] = false }
+func (s *KSwitch) OnSleep(line int) { s.setActive(line, false) }
 
 // Repack is a no-op for k-switches: the paper restricts remapping to wake
 // instants.
@@ -245,13 +281,13 @@ func NewFullSwitch(d dsl.DSLAM, initialPort []int) (*FullSwitch, error) {
 
 // OnWake marks active and packs immediately.
 func (f *FullSwitch) OnWake(line int) {
-	f.active[line] = true
+	f.setActive(line, true)
 	f.Repack()
 }
 
 // OnSleep marks inactive and packs immediately.
 func (f *FullSwitch) OnSleep(line int) {
-	f.active[line] = false
+	f.setActive(line, false)
 	f.Repack()
 }
 
@@ -260,12 +296,7 @@ func (f *FullSwitch) OnSleep(line int) {
 // target range stay put; only the rest move, displacing inactive lines.
 func (f *FullSwitch) Repack() {
 	var movers []int
-	var n int
-	for line := range f.portOf {
-		if f.active[line] {
-			n++
-		}
-	}
+	n := f.activeN
 	taken := make([]bool, n)
 	for line := range f.portOf {
 		if !f.active[line] {

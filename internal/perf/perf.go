@@ -1,0 +1,162 @@
+// Package perf is the repository's performance harness. It provides two
+// things:
+//
+//   - pprof plumbing (-cpuprofile / -memprofile) shared by the CLIs, so
+//     hot-path work is measurable outside `go test -bench`;
+//   - the benchmark-trajectory format: cmd/bench measures macro scenarios
+//     (the §5 scheme comparison, the 10k-gateway city run) and writes a
+//     BENCH_<date>.json, committed to the repository so successive PRs
+//     leave comparable performance records instead of anecdotes.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Entry records one measured scenario.
+type Entry struct {
+	Name        string  `json:"name"`
+	Scenario    string  `json:"scenario"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// AllocBytes is the heap allocated during the measurement (cumulative
+	// allocation, not live heap), from runtime.MemStats.TotalAlloc.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Metrics carries scenario-defined result values (savings, event
+	// counts, ...) so a trajectory entry is interpretable on its own.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is one benchmark-trajectory record.
+type Report struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Entries    []Entry `json:"entries"`
+}
+
+// NewReport stamps a report for the given date (YYYY-MM-DD).
+func NewReport(date string) *Report {
+	return &Report{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Measure times fn and appends an Entry; fn returns the scenario metrics to
+// record. Wall time and allocation are measured around the call.
+func (r *Report) Measure(name, scenario string, fn func() (map[string]float64, error)) error {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	metrics, err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return fmt.Errorf("perf: %s: %w", name, err)
+	}
+	r.Entries = append(r.Entries, Entry{
+		Name:        name,
+		Scenario:    scenario,
+		WallSeconds: wall.Seconds(),
+		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+		Metrics:     metrics,
+	})
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadFile loads a previously written report.
+func ReadFile(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// DefaultPath names a trajectory file for the given time: BENCH_<date>.json.
+func DefaultPath(t time.Time) string {
+	return fmt.Sprintf("BENCH_%s.json", t.Format("2006-01-02"))
+}
+
+// Profile starts an optional CPU profile and arranges an optional heap
+// profile — the shared -cpuprofile/-memprofile plumbing of the CLIs. The
+// returned cleanup is idempotent; call it on every exit path, including
+// before log.Fatal/os.Exit (which skip defers), so the CPU profile is
+// always terminated and parseable. Heap-profile write failures are
+// reported on stderr rather than returned: by cleanup time the measured
+// work has already happened and must not be discarded.
+func Profile(cpuPath, memPath string) (cleanup func(), err error) {
+	stop, err := StartCPUProfile(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			stop()
+			if err := WriteHeapProfile(memPath); err != nil {
+				fmt.Fprintln(os.Stderr, "perf:", err)
+			}
+		})
+	}, nil
+}
+
+// StartCPUProfile begins a CPU profile at path and returns the stop
+// function. An empty path is a no-op (so CLIs can pass the flag through
+// unconditionally). stop is idempotent: callers may both defer it and call
+// it explicitly before exiting early.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path after a GC, so the profile
+// reflects live objects. An empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

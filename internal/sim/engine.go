@@ -8,50 +8,55 @@ package sim
 // and the scheme_*.go files).
 
 import (
-	"container/heap"
 	"math"
+	"math/bits"
 
 	"insomnia/internal/dsl"
-	"insomnia/internal/kswitch"
 	"insomnia/internal/power"
 	"insomnia/internal/wifi"
 )
 
 // run drives the merged event streams to the end of the trace.
 func (s *sim) run() {
-	tr := s.cfg.Trace
-	for {
-		// Next dynamic event vs next trace records.
-		tNext := math.Inf(1)
-		src := -1 // 0=heap 1=flow 2=keepalive
-		if len(s.h) > 0 {
-			tNext, src = s.h[0].t, 0
-		}
-		if s.flowIdx < len(tr.Flows) && tr.Flows[s.flowIdx].Start < tNext {
-			tNext, src = tr.Flows[s.flowIdx].Start, 1
-		}
-		if s.keepIdx < len(tr.Keepalives) && tr.Keepalives[s.keepIdx].T < tNext {
-			tNext, src = tr.Keepalives[s.keepIdx].T, 2
-		}
-		if src == -1 || tNext > s.end {
-			break
-		}
-		s.now = tNext
-		switch src {
-		case 0:
-			e := heap.Pop(&s.h).(event)
-			s.handle(e)
-		case 1:
-			f := tr.Flows[s.flowIdx]
-			s.flowArrival(s.flowIdx, int(f.Client), f.Up)
-			s.flowIdx++
-		case 2:
-			k := tr.Keepalives[s.keepIdx]
-			s.keepalive(int(k.Client), int64(k.Bytes))
-			s.keepIdx++
-		}
+	for s.step() {
 	}
 	s.now = s.end
+}
+
+// step advances the simulation by one event — the next dynamic heap event
+// or trace record, whichever is earlier (heap wins ties, then flows, then
+// keepalives). It returns false once the streams are exhausted or past the
+// trace end.
+func (s *sim) step() bool {
+	tr := s.cfg.Trace
+	tNext := math.Inf(1)
+	src := -1 // 0=heap 1=flow 2=keepalive
+	if s.h.len() > 0 {
+		tNext, src = s.h.ev[0].t, 0
+	}
+	if s.flowIdx < len(tr.Flows) && tr.Flows[s.flowIdx].Start < tNext {
+		tNext, src = tr.Flows[s.flowIdx].Start, 1
+	}
+	if s.keepIdx < len(tr.Keepalives) && tr.Keepalives[s.keepIdx].T < tNext {
+		tNext, src = tr.Keepalives[s.keepIdx].T, 2
+	}
+	if src == -1 || tNext > s.end {
+		return false
+	}
+	s.now = tNext
+	switch src {
+	case 0:
+		s.handle(s.h.pop())
+	case 1:
+		f := tr.Flows[s.flowIdx]
+		s.flowArrival(s.flowIdx, int(f.Client), f.Up)
+		s.flowIdx++
+	case 2:
+		k := tr.Keepalives[s.keepIdx]
+		s.keepalive(int(k.Client), int64(k.Bytes))
+		s.keepIdx++
+	}
+	return true
 }
 
 func (s *sim) handle(e event) {
@@ -65,7 +70,13 @@ func (s *sim) handle(e event) {
 		s.reapCompleted(g)
 		s.scheduleCompletion(g)
 	case evGwCheck:
-		s.gwCheck(s.gws[e.a], e.t)
+		g := s.gws[e.a]
+		if e.t >= g.checkAt {
+			// This pop consumes the tracked earliest check (later stale
+			// ones may still sit in the heap; they re-derive and re-arm).
+			g.checkAt = math.Inf(1)
+		}
+		s.gwCheck(g)
 	case evDecide:
 		s.strat.onDecide(s, e.a)
 	case evTick:
@@ -83,6 +94,41 @@ func (s *sim) handle(e event) {
 
 // ---- gateway state machinery ----
 
+// awaken adds g to the active-gateway set. Called exactly where the engine
+// fires wake side effects (modem up, switch remap), so set membership
+// mirrors "the modem is not sleeping".
+//
+// It also performs the lazy-sampling catch-up: while g slept, the dense
+// pre-refactor tick loop would have kept observing g's (unchanging) SN
+// counter, leaving the estimator primed at the last tick. Observing once at
+// that tick's time reproduces the identical estimator state — the skipped
+// zero-frame samples are invisible to Utilization and ActiveWithin. If no
+// tick fired since the estimator's reset, the dense loop would have left it
+// unprimed, so neither do we.
+func (s *sim) awaken(g *gateway) {
+	w, b := g.id>>6, uint64(1)<<(uint(g.id)&63)
+	if s.awakeBits[w]&b != 0 {
+		return
+	}
+	s.awakeBits[w] |= b
+	s.awakeN++
+	if s.tickCount > g.estResetTick {
+		g.est.Observe(s.lastTickT, g.sn.Value())
+	}
+}
+
+// quiesce removes g from the active-gateway set. Called exactly where the
+// engine fires sleep side effects (modem down, estimator reset).
+func (s *sim) quiesce(g *gateway) {
+	w, b := g.id>>6, uint64(1)<<(uint(g.id)&63)
+	if s.awakeBits[w]&b == 0 {
+		return
+	}
+	s.awakeBits[w] &^= b
+	s.awakeN--
+	g.estResetTick = s.tickCount
+}
+
 // touch registers traffic/wake intent on gateway g, firing ISP-side side
 // effects when it starts a wake.
 func (s *sim) touch(g *gateway, t float64) {
@@ -93,22 +139,34 @@ func (s *sim) touch(g *gateway, t float64) {
 	if woke {
 		// Line becomes active: modem powers up, switch may remap (the only
 		// legal remap instant), cards may wake.
+		s.awaken(g)
 		g.modem.SetState(t, power.Waking)
 		s.policy.OnWake(g.id)
 		s.updateCards(t)
 		g.lastElapse = t
 	}
-	if next := g.ctl.NextTransition(); !math.IsInf(next, 1) {
+	s.armGwCheck(g)
+}
+
+// armGwCheck schedules the controller's next autonomous transition,
+// skipping the push when an outstanding check already fires no later. The
+// skipped case is covered because a stale pop re-arms from the then-current
+// due time (see gwCheck), so exactly one live check chases each gateway's
+// moving deadline instead of one per touch.
+func (s *sim) armGwCheck(g *gateway) {
+	if next := g.ctl.NextTransition(); !math.IsInf(next, 1) && next < g.checkAt {
+		g.checkAt = next
 		s.push(event{t: next, kind: evGwCheck, a: g.id})
 	}
 }
 
 // gwCheck fires scheduled controller transitions (wake completion or sleep
-// deadline). Stale events are ignored by re-deriving the due time.
-func (s *sim) gwCheck(g *gateway, scheduled float64) {
+// deadline) as of s.now. Stale events re-derive the due time and re-arm.
+func (s *sim) gwCheck(g *gateway) {
 	due := g.ctl.NextTransition()
 	if math.IsInf(due, 1) || due > s.now+1e-9 {
-		return // superseded by later activity
+		s.armGwCheck(g) // superseded by later activity: chase the new deadline
+		return
 	}
 	switch g.ctl.State() {
 	case power.Waking:
@@ -122,14 +180,15 @@ func (s *sim) gwCheck(g *gateway, scheduled float64) {
 			}
 		}
 		s.scheduleCompletion(g)
-		// Hand back clients that were waiting for their home gateway.
-		for c, cl := range s.clients {
-			if cl.pendingHome && cl.home == g.id {
-				cl.pendingHome = false
-				cl.assigned = g.id
-				_ = c
-			}
+		// Hand back exactly the clients that were waiting for this, their
+		// home gateway — O(|waiting|), not a scan over every client.
+		for _, c := range g.pending {
+			cl := s.clients[c]
+			cl.pendingHome = false
+			cl.pendingPos = -1
+			cl.assigned = g.id
 		}
+		g.pending = g.pending[:0]
 	case power.On:
 		// Sleep deadline. A gateway with flows in flight is not idle: the
 		// flow's packets are continuous traffic. Extend the idle clock
@@ -137,9 +196,7 @@ func (s *sim) gwCheck(g *gateway, scheduled float64) {
 		// immediately re-wake, charging a bogus 60 s stall).
 		if len(g.flows) > 0 {
 			g.ctl.Busy(s.now)
-			if next := g.ctl.NextTransition(); !math.IsInf(next, 1) {
-				s.push(event{t: next, kind: evGwCheck, a: g.id})
-			}
+			s.armGwCheck(g)
 			return
 		}
 		s.elapse(g)
@@ -149,11 +206,10 @@ func (s *sim) gwCheck(g *gateway, scheduled float64) {
 			s.policy.OnSleep(g.id)
 			s.updateCards(due)
 			g.est.Reset()
+			s.quiesce(g)
 		}
 	}
-	if next := g.ctl.NextTransition(); !math.IsInf(next, 1) {
-		s.push(event{t: next, kind: evGwCheck, a: g.id})
-	}
+	s.armGwCheck(g)
 }
 
 // updateCards reconciles line-card power states with the switch policy.
@@ -161,8 +217,8 @@ func (s *sim) updateCards(t float64) {
 	if !s.strat.sleepCards() {
 		return
 	}
-	awake := s.policy.CardsAwake()
-	for cd, a := range awake {
+	s.cardBuf = s.policy.CardsAwakeInto(s.cardBuf)
+	for cd, a := range s.cardBuf {
 		if a != s.cardOn[cd] {
 			st := power.Sleeping
 			if a {
@@ -172,6 +228,41 @@ func (s *sim) updateCards(t float64) {
 			s.cardOn[cd] = a
 		}
 	}
+}
+
+// ---- pending-home bookkeeping ----
+
+// markPendingHome queues client c on its home gateway's wake hand-back
+// list (bh2.ReturnHome while riding a remote until home is operative).
+func (s *sim) markPendingHome(c int) {
+	cl := s.clients[c]
+	if cl.pendingHome {
+		return
+	}
+	cl.pendingHome = true
+	g := s.gws[cl.home]
+	cl.pendingPos = len(g.pending)
+	g.pending = append(g.pending, c)
+}
+
+// unmarkPendingHome removes client c from its home gateway's hand-back
+// list in O(1) (swap-remove; drain order at wake is immaterial since each
+// hand-back touches only its own client).
+func (s *sim) unmarkPendingHome(c int) {
+	cl := s.clients[c]
+	if !cl.pendingHome {
+		return
+	}
+	g := s.gws[cl.home]
+	last := len(g.pending) - 1
+	if i := cl.pendingPos; i != last {
+		moved := g.pending[last]
+		g.pending[i] = moved
+		s.clients[moved].pendingPos = i
+	}
+	g.pending = g.pending[:last]
+	cl.pendingHome = false
+	cl.pendingPos = -1
 }
 
 // ---- transport ----
@@ -226,27 +317,53 @@ func (s *sim) reapCompleted(g *gateway) {
 	}
 	g.flows = keep
 	if finished {
+		g.flowsGen++      // membership changed: completion cache is stale
 		s.touch(g, s.now) // completion packets reset the idle clock
 	}
 }
 
 // scheduleCompletion arms the next completion check for g.
+//
+// The scan for the earliest-completing flow is cached per gateway: between
+// membership changes of g.flows (tracked by flowsGen) processor sharing
+// serves every flow at an unchanged rate, so each flow's time-to-complete
+// shrinks uniformly and the argmin flow is stable — re-arming recomputes
+// one flow's time instead of scanning. flowArrival keeps the cache fresh
+// across appends on all-elastic gateways, making arming O(1) amortized on
+// the hot path; membership changes that invalidate it (reap, migration,
+// rate-capped arrivals) already pay an O(flows) elapse, so the fallback
+// scan never changes the asymptotics.
 func (s *sim) scheduleCompletion(g *gateway) {
 	g.complEpoch++
 	if len(g.flows) == 0 || !g.ctl.Awake() {
 		return
 	}
 	rate := s.cfg.Trace.Cfg.BackhaulBps / 8 / float64(len(g.flows))
-	tMin := math.Inf(1)
-	for _, fi := range g.flows {
-		f := &s.flows[fi]
+	var tMin float64
+	if g.schedGen == g.flowsGen {
+		f := &s.flows[g.schedMin]
 		r := rate
 		if w := f.capBps / 8; w < r {
 			r = w
 		}
-		if t := f.rem / r; t < tMin {
-			tMin = t
+		tMin = f.rem / r
+	} else {
+		tMin = math.Inf(1)
+		allUncapped := true
+		for _, fi := range g.flows {
+			f := &s.flows[fi]
+			r := rate
+			if w := f.capBps / 8; w < r {
+				r = w
+				allUncapped = false
+			}
+			if t := f.rem / r; t < tMin {
+				tMin = t
+				g.schedMin = fi
+			}
 		}
+		g.schedGen = g.flowsGen
+		g.schedAllUncapped = allUncapped
 	}
 	if tMin < 1e-9 {
 		tMin = 1e-9 // keep the clock moving even for sub-byte remainders
@@ -277,7 +394,22 @@ func (s *sim) flowArrival(idx, c int, up bool) {
 		capBps:    capBps,
 		stallFrom: -1,
 	}
+	// On an all-elastic gateway every flow is served at the shared rate, so
+	// the earliest completion is simply the flow with the fewest remaining
+	// bytes (rem/rate is monotone in rem) — the cache survives the append
+	// and the upcoming scheduleCompletion arms in O(1).
+	cacheLive := g.schedGen == g.flowsGen && g.schedAllUncapped
 	g.flows = append(g.flows, idx)
+	g.flowsGen++
+	if cacheLive {
+		newRate := s.cfg.Trace.Cfg.BackhaulBps / 8 / float64(len(g.flows))
+		if f.capBps/8 >= newRate {
+			if f.rem < s.flows[g.schedMin].rem {
+				g.schedMin = idx
+			}
+			g.schedGen = g.flowsGen
+		}
+	}
 	s.touch(g, s.now)
 	if !g.ctl.Awake() {
 		f.stallFrom = s.now
@@ -306,21 +438,45 @@ func (s *sim) linkBps(c, gw int) float64 {
 
 // ---- metrics ----
 
+// tick samples the metric series. It visits only the active-gateway set —
+// O(awake), not O(all gateways): a sleeping gateway needs no controller
+// advance (nothing is due), no transport elapse (it carries no flows), and
+// its estimator observations would be zero-frame samples invisible to every
+// query (the wake-time catch-up in awaken reproduces the estimator state
+// exactly). Its power draw integrates in closed form below. Gateways that
+// the set still carries but whose controller already crossed its sleep
+// deadline (the deadline fell on this very tick) are handled identically to
+// the dense loop: advanced, sampled, and counted offline.
 func (s *sim) tick() {
+	s.tickCount++
+	s.lastTickT = s.now
 	var userW, ispW float64
 	online := 0
-	for _, g := range s.gws {
-		g.ctl.Advance(s.now)
-		if g.ctl.State() != power.Sleeping {
-			online++
+	for w, word := range s.awakeBits {
+		for word != 0 {
+			g := s.gws[w<<6+bits.TrailingZeros64(word)]
+			word &= word - 1
+			g.ctl.Advance(s.now)
+			if g.ctl.State() != power.Sleeping {
+				online++
+			}
+			// The estimator needs service progress up to now, not just up
+			// to the last transport event.
+			s.elapse(g)
+			g.est.Observe(s.now, g.sn.Value())
+			userW += g.ctl.Device().DrawW()
+			ispW += g.modem.DrawW()
 		}
-		// The estimator needs service progress up to now, not just up to
-		// the last transport event.
-		s.elapse(g)
-		g.est.Observe(s.now, g.sn.Value())
-		userW += g.ctl.Device().DrawW()
-		ispW += g.modem.DrawW()
 	}
+	// Closed-form integration of the quiescent population: every gateway
+	// outside the set has its device and port modem Sleeping, each drawing
+	// power.SleepWatts. The paper counts sleeping devices as off
+	// (SleepWatts == 0), which is what keeps this term bit-identical to
+	// the dense loop's interleaved additions; if SleepWatts ever becomes
+	// nonzero this stays correct but float summation order changes.
+	nSleep := float64(len(s.gws) - s.awakeN)
+	userW += nSleep * power.SleepWatts
+	ispW += nSleep * power.SleepWatts
 	for _, cd := range s.cards {
 		ispW += cd.DrawW()
 	}
@@ -329,7 +485,7 @@ func (s *sim) tick() {
 	s.userTS.Add(s.now, userW)
 	s.ispTS.Add(s.now, ispW)
 	s.gwTS.Add(s.now, float64(online))
-	s.cardTS.Add(s.now, float64(kswitch.AwakeCount(s.policy.CardsAwake())))
+	s.cardTS.Add(s.now, float64(s.policy.AwakeCardCount()))
 }
 
 func (s *sim) result() *Result {

@@ -199,15 +199,77 @@ func TestCardFollowsLineState(t *testing.T) {
 	}
 }
 
+// TestWakeHandsBackExactlyWaitingClients pins the pending-home hand-back:
+// completing a gateway's wake must reassign exactly the clients that were
+// waiting for that gateway — no scan side effects on clients waiting for a
+// different home or not waiting at all.
+func TestWakeHandsBackExactlyWaitingClients(t *testing.T) {
+	// handSim: clients 0,1 homed at gateway 0; clients 2,3 at gateway 1.
+	s := handSim(t, BH2KSwitch, nil, nil)
+	// Clients 0 and 1 ride gateway 1; only 0 is flagged pending-home.
+	s.clients[0].assigned = 1
+	s.clients[1].assigned = 1
+	s.markPendingHome(0)
+	// Client 3 rides gateway 0 and waits for gateway 1 — a different home.
+	s.clients[3].assigned = 0
+	s.markPendingHome(3)
+	if got := len(s.gws[0].pending); got != 1 {
+		t.Fatalf("gateway 0 pending list has %d entries, want 1", got)
+	}
+
+	// Wake gateway 0 and complete the wake.
+	s.now = 100
+	s.touch(s.gws[0], s.now)
+	s.now = s.gws[0].ctl.NextTransition()
+	s.gwCheck(s.gws[0])
+
+	if cl := s.clients[0]; cl.assigned != 0 || cl.pendingHome || cl.pendingPos != -1 {
+		t.Errorf("waiting client not handed back: %+v", *cl)
+	}
+	if cl := s.clients[1]; cl.assigned != 1 || cl.pendingHome {
+		t.Errorf("non-waiting client disturbed: %+v", *cl)
+	}
+	if cl := s.clients[3]; cl.assigned != 0 || !cl.pendingHome {
+		t.Errorf("client waiting for another gateway disturbed: %+v", *cl)
+	}
+	if got := len(s.gws[0].pending); got != 0 {
+		t.Errorf("gateway 0 pending list not drained: %d entries", got)
+	}
+	if got := len(s.gws[1].pending); got != 1 {
+		t.Errorf("gateway 1 pending list corrupted: %d entries", got)
+	}
+}
+
+// TestPendingHomeUnmarkSwapRemove exercises the O(1) removal's position
+// bookkeeping with several clients queued on one gateway.
+func TestPendingHomeUnmarkSwapRemove(t *testing.T) {
+	s := handSim(t, BH2KSwitch, nil, nil)
+	// Both gateway-0 clients queue, then the first leaves (e.g. a Move).
+	s.markPendingHome(0)
+	s.markPendingHome(1)
+	s.unmarkPendingHome(0)
+	if got := s.gws[0].pending; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("pending list after swap-remove = %v, want [1]", got)
+	}
+	if s.clients[1].pendingPos != 0 {
+		t.Fatalf("moved client's position not updated: %d", s.clients[1].pendingPos)
+	}
+	// Re-marking an already-pending client must not duplicate it.
+	s.markPendingHome(1)
+	if got := len(s.gws[0].pending); got != 1 {
+		t.Fatalf("duplicate pending entry: %d", got)
+	}
+}
+
 func TestEventHeapOrdering(t *testing.T) {
 	var s sim
 	s.push(event{t: 5, kind: evTick})
 	s.push(event{t: 1, kind: evTick})
 	s.push(event{t: 5, kind: evGwCheck}) // same time: FIFO by seq
-	if s.h[0].t != 1 {
+	if s.h.ev[0].t != 1 {
 		t.Fatal("heap not ordered by time")
 	}
-	first := s.h[0]
+	first := s.h.ev[0]
 	if first.kind != evTick {
 		t.Fatal("wrong head")
 	}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+
+	"insomnia/internal/stats"
+)
+
+// refHeap is the pre-refactor container/heap implementation, kept here as
+// the differential-test reference for the inlined 4-ary heap.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// TestHeapDifferential drives the 4-ary heap and container/heap with the
+// same interleaved random push/pop stream and requires identical pop
+// sequences, including among time-tied events (seq breaks the tie) and
+// among fully duplicate (t, seq) keys (where only key order is defined).
+func TestHeapDifferential(t *testing.T) {
+	r := stats.NewRNG(7, 0x4ea)
+	var got eventHeap
+	var want refHeap
+	seq := int64(0)
+	for round := 0; round < 20000; round++ {
+		if want.Len() == 0 || r.Float64() < 0.55 {
+			// Coarse-grained times force plenty of t-ties; seq, as in the
+			// engine, stays strictly increasing and breaks them.
+			seq++
+			e := event{t: float64(r.Intn(200)), seq: seq, kind: r.Intn(5), a: r.Intn(64)}
+			got.push(e)
+			heap.Push(&want, e)
+		} else {
+			g := got.pop()
+			w := heap.Pop(&want).(event)
+			if g != w {
+				t.Fatalf("round %d: pop mismatch: %+v != %+v", round, g, w)
+			}
+		}
+	}
+	for want.Len() > 0 {
+		g := got.pop()
+		w := heap.Pop(&want).(event)
+		if g != w {
+			t.Fatalf("drain: pop mismatch: %+v != %+v", g, w)
+		}
+	}
+	if got.len() != 0 {
+		t.Fatalf("4-ary heap retains %d events after drain", got.len())
+	}
+}
+
+// TestHeapDuplicateKeys pins behavior when (t, seq) keys collide exactly:
+// both heaps must still agree on the popped key sequence.
+func TestHeapDuplicateKeys(t *testing.T) {
+	var got eventHeap
+	var want refHeap
+	for i := 0; i < 100; i++ {
+		e := event{t: float64(i % 3), seq: int64(i % 2), kind: i}
+		got.push(e)
+		heap.Push(&want, e)
+	}
+	for want.Len() > 0 {
+		g := got.pop()
+		w := heap.Pop(&want).(event)
+		if g.t != w.t || g.seq != w.seq {
+			t.Fatalf("duplicate-key pop order diverged: (%v,%d) != (%v,%d)", g.t, g.seq, w.t, w.seq)
+		}
+	}
+}
+
+// TestHeapSteadyStateAllocs pins the zero-allocation contract: once the
+// backing array has grown, pushing and popping events allocates nothing.
+func TestHeapSteadyStateAllocs(t *testing.T) {
+	var h eventHeap
+	for i := 0; i < 1024; i++ {
+		h.push(event{t: float64(1024 - i), seq: int64(i)})
+	}
+	for h.len() > 256 {
+		h.pop()
+	}
+	seq := int64(2000)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			seq++
+			h.push(event{t: float64(seq % 97), seq: seq})
+		}
+		for i := 0; i < 64; i++ {
+			h.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocates %.1f times per run, want 0", allocs)
+	}
+}

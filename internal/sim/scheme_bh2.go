@@ -85,14 +85,14 @@ func (sc bh2Scheme) apply(s *sim, c int, d bh2.Decision) {
 	case bh2.Move:
 		if cl.assigned != d.Target {
 			cl.assigned = d.Target
-			cl.pendingHome = false
+			s.unmarkPendingHome(c)
 			s.moves++
 		}
 	case bh2.ReturnHome:
 		home := s.gws[cl.home]
 		if home.ctl.Awake() {
 			cl.assigned = cl.home
-			cl.pendingHome = false
+			s.unmarkPendingHome(c)
 			return
 		}
 		if s.cfg.BH2.WakeUpHome {
@@ -100,10 +100,10 @@ func (sc bh2Scheme) apply(s *sim, c int, d bh2.Decision) {
 		}
 		if s.gws[cl.assigned].ctl.Awake() && cl.assigned != cl.home {
 			// Keep riding the current remote until home is operative.
-			cl.pendingHome = true
+			s.markPendingHome(c)
 		} else {
 			cl.assigned = cl.home // nothing usable: queue at home
-			cl.pendingHome = false
+			s.unmarkPendingHome(c)
 		}
 	}
 }

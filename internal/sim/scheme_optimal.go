@@ -106,7 +106,7 @@ func (sc optimalScheme) onResolve(s *sim) {
 		if sol.Open[gwID] {
 			if g.ctl.State() != power.On {
 				s.touch(g, s.now) // WakeDelay 0: usable immediately
-				s.gwCheck(g, s.now)
+				s.gwCheck(g)
 			}
 		}
 	}
@@ -130,6 +130,7 @@ func (sc optimalScheme) migrateFlows(s *sim, g *gateway) {
 	s.elapse(g)
 	moving := g.flows
 	g.flows = nil
+	g.flowsGen++
 	g.complEpoch++
 	for _, fi := range moving {
 		f := &s.flows[fi]
@@ -148,6 +149,7 @@ func (sc optimalScheme) migrateFlows(s *sim, g *gateway) {
 			f.capBps = r
 		}
 		tg.flows = append(tg.flows, fi)
+		tg.flowsGen++
 		s.touch(tg, s.now)
 		s.scheduleCompletion(tg)
 	}
@@ -162,4 +164,5 @@ func (optimalScheme) closeGateway(s *sim, g *gateway) {
 	g.modem.SetState(s.now, power.Sleeping)
 	s.policy.OnSleep(g.id)
 	g.est.Reset()
+	s.quiesce(g)
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,12 +40,38 @@ type gateway struct {
 	sn           wifi.SeqCounter
 	byteResidual float64
 	est          *wifi.LoadEstimator
+	// checkAt is the time of the earliest outstanding evGwCheck for this
+	// gateway (+Inf when none): armGwCheck pushes only when the controller's
+	// next transition precedes it, so a gateway holds one live check event
+	// instead of one per touch (keepalives would otherwise flood the heap
+	// with stale checks).
+	checkAt float64
+	// estResetTick is sim.tickCount as of the estimator's last Reset; the
+	// lazy-sampling catch-up on wake uses it to decide whether any tick
+	// observed the gateway since (see sim.awaken).
+	estResetTick int64
+
+	// pending lists clients waiting for this (their home) gateway to
+	// finish waking, so wake completion hands them back in O(|waiting|)
+	// instead of scanning every client.
+	pending []int
+
+	// Completion-arming cache (scheduleCompletion): valid while schedGen
+	// matches flowsGen, which is bumped on every membership change of
+	// flows. schedMin is the flow index that completes first;
+	// schedAllUncapped records whether every flow was limited by the
+	// processor-sharing rate rather than its own cap at the last scan.
+	flowsGen         int64
+	schedGen         int64
+	schedMin         int
+	schedAllUncapped bool
 }
 
 type client struct {
 	home        int
 	assigned    int
 	pendingHome bool
+	pendingPos  int // index in the home gateway's pending list; -1 when absent
 }
 
 type sim struct {
@@ -62,7 +87,18 @@ type sim struct {
 	policy  kswitch.Policy
 	cards   []*power.Device
 	cardOn  []bool
+	cardBuf []bool // reusable CardsAwakeInto scratch
 	shelf   *power.Device
+
+	// Active-gateway set: bit g set while gateway g is outside Sleeping
+	// (as far as the event machinery knows). tick() iterates only set
+	// members, making sampling O(awake) instead of O(all gateways);
+	// sleeping devices integrate in closed form (they draw
+	// power.SleepWatts). awakeN counts set bits.
+	awakeBits []uint64
+	awakeN    int
+	tickCount int64   // ticks fired so far
+	lastTickT float64 // time of the most recent tick
 
 	flows   []flowState
 	flowIdx int // next trace flow
@@ -126,15 +162,29 @@ func newSim(cfg Config) (*sim, error) {
 
 	for g := 0; g < nGW; g++ {
 		dev := power.NewDevice(fmt.Sprintf("gw%d", g), power.GatewayWatts, initState, 0)
+		est := wifi.NewLoadEstimator(cfg.Trace.Cfg.BackhaulBps)
+		// BH2 terminals never query past EstWindow, so the estimator may
+		// discard older samples instead of growing one sample per tick for
+		// the whole run.
+		est.MaxAgeSec = cfg.BH2.EstWindow
 		s.gws[g] = &gateway{
-			id:    g,
-			ctl:   soi.New(dev, idle, wake, 0),
-			modem: power.NewDevice(fmt.Sprintf("modem%d", g), power.ISPModemWatts, initState, 0),
-			est:   wifi.NewLoadEstimator(cfg.Trace.Cfg.BackhaulBps),
+			id:       g,
+			ctl:      soi.New(dev, idle, wake, 0),
+			modem:    power.NewDevice(fmt.Sprintf("modem%d", g), power.ISPModemWatts, initState, 0),
+			est:      est,
+			schedGen: -1,          // no completion scan cached yet
+			checkAt:  math.Inf(1), // no outstanding gwCheck event
 		}
 	}
 	for c := 0; c < nCl; c++ {
-		s.clients[c] = &client{home: cfg.Topo.HomeOf[c], assigned: cfg.Topo.HomeOf[c]}
+		s.clients[c] = &client{home: cfg.Topo.HomeOf[c], assigned: cfg.Topo.HomeOf[c], pendingPos: -1}
+	}
+	s.awakeBits = make([]uint64, (nGW+63)/64)
+	if initState != power.Sleeping {
+		for g := 0; g < nGW; g++ {
+			s.awakeBits[g>>6] |= 1 << (uint(g) & 63)
+		}
+		s.awakeN = nGW
 	}
 
 	if s.policy, err = strat.newPolicy(cfg); err != nil {
@@ -156,5 +206,5 @@ func newSim(cfg Config) (*sim, error) {
 func (s *sim) push(e event) {
 	s.seq++
 	e.seq = s.seq
-	heap.Push(&s.h, e)
+	s.h.push(e)
 }

@@ -498,6 +498,87 @@ func OverlapGraph(n int, meanInRange float64, seed int64) (*Graph, error) {
 	return g, nil
 }
 
+// GridCity builds a deterministic city-scale gateway graph in O(n), where
+// OverlapGraph's Havel–Hakimi + Viger–Latapy machinery (repeated sorts,
+// connectivity-checked edge swaps) becomes quadratic and impractical past a
+// few hundred gateways.
+//
+// Gateways sit on a near-square grid — the street grid of a metro
+// deployment — with orthogonal neighbor links (wireless overlap between
+// adjacent homes) plus seeded random diagonal links added until the mean
+// in-range count (home + neighbors) reaches meanInRange. The orthogonal
+// grid alone keeps the graph connected, so no repair phase is needed.
+//
+// The orthogonal grid is also the density floor: adjacent homes are always
+// in range, so a meanInRange below ~5 (interior degree 4, minus boundary
+// effects) yields the plain grid rather than a sparser graph. For sweeps
+// below that floor use Binomial or OverlapGraph; targets above the
+// diagonal families' capacity return an error.
+func GridCity(n int, meanInRange float64, seed int64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 gateways, got %d", n)
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	g := &Graph{Adj: make([][]int, n)}
+	edges := 0
+	for v := 0; v < n; v++ {
+		if (v+1)%cols != 0 && v+1 < n { // right neighbor
+			g.addEdge(v, v+1)
+			edges++
+		}
+		if v+cols < n { // down neighbor
+			g.addEdge(v, v+cols)
+			edges++
+		}
+	}
+	// Each extra edge raises the mean degree by 2/n. Enumerate the two
+	// diagonal families (\ and /) up front — boundary rows and columns
+	// exclude candidates, so the achievable maximum and the draw
+	// probability are both computed from the real candidate counts.
+	want := meanInRange - 1
+	families := make([][]int, 0, 2)
+	total := 0
+	for _, diag := range []int{cols + 1, cols - 1} {
+		var cand []int
+		for v := 0; v < n; v++ {
+			col := v % cols
+			if diag == cols+1 && col == cols-1 {
+				continue // \ from the last column leaves the grid
+			}
+			if diag == cols-1 && col == 0 {
+				continue // / from the first column leaves the grid
+			}
+			if w := v + diag; w < n {
+				cand = append(cand, v)
+			}
+		}
+		families = append(families, cand)
+		total += len(cand)
+	}
+	if max := float64(2*(edges+total)) / float64(n); want > max {
+		return nil, fmt.Errorf("topology: GridCity cannot reach mean in-range %v (max ~%.1f); use OverlapGraph", meanInRange, max+1)
+	}
+	r := stats.NewRNG(seed, 0xc17f)
+	for fi, diag := range []int{cols + 1, cols - 1} {
+		need := want - float64(2*edges)/float64(n)
+		cand := families[fi]
+		if need <= 0 || len(cand) == 0 {
+			continue
+		}
+		p := need * float64(n) / 2 / float64(len(cand))
+		if p > 1 {
+			p = 1
+		}
+		for _, v := range cand {
+			if r.Float64() < p && !g.hasEdge(v, v+diag) {
+				g.addEdge(v, v+diag)
+				edges++
+			}
+		}
+	}
+	return g, nil
+}
+
 // poissonClamped draws a Poisson(mean) value clamped to [lo, hi] using
 // Knuth's method (fine for small means).
 func poissonClamped(r *rand.Rand, mean float64, lo, hi int) int {

@@ -253,3 +253,124 @@ func TestPoissonClampedMean(t *testing.T) {
 		t.Errorf("mean = %v, want ~4.6", w.Mean())
 	}
 }
+
+func TestGridCityProperties(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		mean float64
+	}{
+		{100, 5.6},
+		{1000, 5.6},
+		{2500, 4.0},
+		{37, 5.6}, // non-square count
+	} {
+		g, err := GridCity(tc.n, tc.mean, 7)
+		if err != nil {
+			t.Fatalf("GridCity(%d): %v", tc.n, err)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("GridCity(%d) has %d vertices", tc.n, g.N())
+		}
+		if !g.Connected() {
+			t.Errorf("GridCity(%d) disconnected", tc.n)
+		}
+		// Simplicity: no duplicate edges, no self-loops.
+		for v, adj := range g.Adj {
+			seen := map[int]bool{}
+			for _, w := range adj {
+				if w == v {
+					t.Fatalf("self-loop at %d", v)
+				}
+				if seen[w] {
+					t.Fatalf("duplicate edge %d-%d", v, w)
+				}
+				seen[w] = true
+			}
+		}
+		// Mean in-range (degree+1) should land near the target; grids have
+		// boundary effects, so allow a generous band.
+		got := g.MeanDegree() + 1
+		if got < tc.mean-1.0 || got > tc.mean+1.0 {
+			t.Errorf("GridCity(%d, %v): mean in-range %.2f", tc.n, tc.mean, got)
+		}
+	}
+}
+
+func TestGridCityDeterministic(t *testing.T) {
+	a, err := GridCity(400, 5.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GridCity(400, 5.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Adj {
+		if len(a.Adj[v]) != len(b.Adj[v]) {
+			t.Fatalf("vertex %d degree differs across identical seeds", v)
+		}
+		for i := range a.Adj[v] {
+			if a.Adj[v][i] != b.Adj[v][i] {
+				t.Fatalf("vertex %d adjacency differs across identical seeds", v)
+			}
+		}
+	}
+	c, err := GridCity(400, 5.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := range a.Adj {
+		if len(a.Adj[v]) != len(c.Adj[v]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("seeds 3 and 4 yielded identical degree sequences (possible but unlikely)")
+	}
+}
+
+func TestGridCityRejectsBadArgs(t *testing.T) {
+	if _, err := GridCity(1, 5.6, 1); err == nil {
+		t.Error("GridCity(1) accepted")
+	}
+	if _, err := GridCity(100, 50, 1); err == nil {
+		t.Error("unreachable mean accepted")
+	}
+}
+
+func TestGridCityComposesWithFromOverlap(t *testing.T) {
+	g, err := GridCity(100, 5.6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := make([]int, 500)
+	for c := range home {
+		home[c] = c % 100
+	}
+	tp, err := FromOverlap(g, home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridCityBoundaryAwareGuard(t *testing.T) {
+	// Boundary rows/columns host fewer diagonal candidates: on a 10x10
+	// grid the true achievable mean in-range is ~7.8, so 8.5 must error
+	// rather than silently under-deliver.
+	if _, err := GridCity(100, 8.5, 1); err == nil {
+		t.Error("GridCity(100, 8.5) accepted beyond the achievable mean")
+	}
+	// Just inside the achievable range still works.
+	g, err := GridCity(100, 7.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MeanDegree() + 1; got < 6.5 {
+		t.Errorf("mean in-range %.2f, want near 7.5", got)
+	}
+}

@@ -147,6 +147,24 @@ func DefaultSimConfig(seed int64) Config {
 	return c
 }
 
+// DefaultCityConfig is the city-scale benchmark scenario: 10,000
+// residential gateways serving 100,000 terminal devices (~10 devices per
+// household gateway) under the evening-peak residential profile. Unlike
+// DefaultResidentialConfig it keeps keepalives materialized — the
+// "continuous light traffic" is exactly what the engine's hot path has to
+// survive at scale — and uses moderate per-client skew. Pair it with
+// topology.GridCity (OverlapGraph does not scale to 10k gateways) and
+// override Duration for bounded benchmark runs; see cmd/bench.
+func DefaultCityConfig(seed int64) Config {
+	return Config{
+		Clients: 100_000, APs: 10_000, Profile: ResidentialProfile, Seed: seed,
+		ClientWeightSigma: 1.0,
+		SessionMeanSec:    5400,
+		FlowBodyMedian:    200e3,
+		BigFlowProb:       0.30,
+	}
+}
+
 // DefaultResidentialConfig is the Fig 2 scenario scaled to n subscribers:
 // one client per gateway, evening-peak profile, heavier per-user traffic
 // (streaming/P2P era), strong across-subscriber skew, down+uplink.

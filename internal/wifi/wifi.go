@@ -93,6 +93,14 @@ type LoadEstimator struct {
 	BackhaulBps float64 // the gateway's access speed
 	FrameBytes  float64 // assumed mean frame size
 
+	// MaxAgeSec bounds sample retention. A sample older than the newest
+	// observation minus MaxAgeSec cannot influence any Utilization or
+	// ActiveWithin query over a window <= MaxAgeSec (queries are issued at
+	// or after the newest observation), so Observe discards such samples
+	// in amortized O(1). Zero retains samples forever — which grows one
+	// sample per observation and is only suitable for short runs.
+	MaxAgeSec float64
+
 	lastT  float64
 	lastSN uint16
 	primed bool
@@ -120,6 +128,19 @@ func (e *LoadEstimator) Observe(t float64, sn uint16) {
 			panic(fmt.Sprintf("wifi: observation at %v before %v", t, e.lastT))
 		}
 		e.samples = append(e.samples, sample{t, SeqDelta(e.lastSN, sn)})
+		// Compact only when at least half the ring is stale, so the O(n)
+		// pass amortizes to O(1) per observation and the backing array
+		// reaches a steady-state capacity (zero allocations thereafter).
+		if n := len(e.samples); e.MaxAgeSec > 0 && n >= 32 && e.samples[n/2].t < t-e.MaxAgeSec {
+			cut := t - e.MaxAgeSec
+			keep := e.samples[:0]
+			for _, s := range e.samples {
+				if s.t >= cut {
+					keep = append(keep, s)
+				}
+			}
+			e.samples = keep
+		}
 	}
 	e.lastT, e.lastSN, e.primed = t, sn, true
 }
