@@ -13,14 +13,26 @@
 //	bench [-out BENCH_2026-07-29.json] [-seed 2]
 //	      [-city=true] [-city-gateways 10000] [-city-clients 100000] [-city-duration 1800]
 //	      [-comparison=true] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-against auto|off|FILE] [-gate-tol 0.35] [-gate-wall-tol 3]
+//
+// With -against, bench becomes the CI regression gate: after measuring,
+// it compares wall time and allocation per entry against a reference
+// trajectory ("auto" picks the newest committed BENCH_*.json, excluding
+// the file this run writes) and exits non-zero when any shared entry
+// regressed beyond its tolerance. Allocations are machine-stable; wall
+// time is only comparable on similar hardware, so cross-machine gates
+// (CI vs a locally-recorded reference) pass a loose -gate-wall-tol.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"os"
 	"time"
 
+	"insomnia/internal/cli"
 	"insomnia/internal/dsl"
 	"insomnia/internal/perf"
 	"insomnia/internal/runner"
@@ -41,7 +53,15 @@ func main() {
 	cityDur := flag.Float64("city-duration", 1800, "simulated seconds for the city runs")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
+	against := flag.String("against", "off", `regression gate reference: "off", "auto" (newest committed BENCH_*.json) or a file`)
+	gateTol := flag.Float64("gate-tol", 0.35, "tolerated fractional regression on allocated bytes (and wall time unless -gate-wall-tol is set)")
+	gateWallTol := flag.Float64("gate-wall-tol", math.NaN(), "tolerated fractional wall-time regression; negative disables the wall check (use a loose value when the reference came from different hardware)")
 	flag.Parse()
+	if err := cli.RejectArgs("bench", flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	// cleanup is idempotent: deferred for the normal path, called
 	// explicitly before Fatal (which skips defers) so a failed scenario
@@ -74,6 +94,43 @@ func main() {
 		log.Printf("%-28s %8.2fs  %6.1f MB alloc", e.Name, e.WallSeconds, float64(e.AllocBytes)/1e6)
 	}
 	log.Printf("wrote %s", *out)
+
+	if *against != "off" && *against != "" {
+		wallTol := *gateWallTol
+		if math.IsNaN(wallTol) {
+			wallTol = *gateTol
+		}
+		if err := gate(rep, *against, *out, wallTol, *gateTol); err != nil {
+			cleanup()
+			log.Fatal(err)
+		}
+	}
+}
+
+// gate compares the fresh report against a reference trajectory and
+// errors when any shared entry regressed beyond its tolerance.
+func gate(fresh *perf.Report, against, selfPath string, wallTol, allocTol float64) error {
+	refPath := against
+	if against == "auto" {
+		var err error
+		refPath, err = perf.NewestRecord(".", selfPath)
+		if err != nil {
+			return err
+		}
+	}
+	ref, err := perf.ReadFile(refPath)
+	if err != nil {
+		return err
+	}
+	regs := perf.Compare(ref, fresh, wallTol, allocTol)
+	if len(regs) == 0 {
+		log.Printf("regression gate ok vs %s (wall tol %.0f%%, alloc tol %.0f%%)", refPath, wallTol*100, allocTol*100)
+		return nil
+	}
+	for _, r := range regs {
+		log.Printf("REGRESSION %s", r)
+	}
+	return fmt.Errorf("%d entr(ies) regressed vs %s", len(regs), refPath)
 }
 
 // benchComparison mirrors BenchmarkSchemeComparisonSerial: one shared

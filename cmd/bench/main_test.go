@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRejectsStrayArguments pins the CLI contract: a typo'd positional
+// argument must exit non-zero with a usage message, not silently run the
+// (minutes-long) default benchmarks.
+func TestRejectsStrayArguments(t *testing.T) {
+	out, err := exec.Command("go", "run", ".", "tyop").CombinedOutput()
+	if err == nil {
+		t.Fatalf("bench with a stray argument must exit non-zero; output:\n%s", out)
+	}
+	s := string(out)
+	// `go run` itself exits 1 but reports the child's status on stderr.
+	if !strings.Contains(s, "exit status 2") {
+		t.Errorf("want exit status 2, got:\n%s", s)
+	}
+	if !strings.Contains(s, "unexpected argument") || !strings.Contains(s, "tyop") || !strings.Contains(s, "Usage") {
+		t.Errorf("expected usage message naming the stray argument, got:\n%s", s)
+	}
+}

@@ -1,0 +1,145 @@
+// Command campaign runs declarative scenario campaigns: a YAML/JSON spec
+// (see internal/dsl and README "Scenario campaigns") is compiled into the
+// cross-product of scenario variants, seeds and schemes, simulated over a
+// worker pool with checkpoint/resume, and reduced to deterministic CSV and
+// JSON artifacts.
+//
+// Usage:
+//
+//	campaign run spec.yaml [-workers N] [-out dir] [-resume] [-q]
+//	campaign check spec.yaml
+//
+// `run` executes the campaign. Progress is checkpointed to
+// <out>/manifest.jsonl after every completed cell; re-running with
+// -resume skips finished cells and still writes artifacts byte-identical
+// to an uninterrupted run. `check` validates the spec and prints the cell
+// plan without simulating anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"insomnia/internal/campaign"
+	"insomnia/internal/cli"
+	"insomnia/internal/dsl"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  campaign run spec.yaml [-workers N] [-out dir] [-resume] [-q]
+  campaign check spec.yaml
+
+commands:
+  run    execute the campaign and write artifacts
+  check  validate the spec and print the cell plan
+`)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch cmd := os.Args[1]; cmd {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "check":
+		cmdCheck(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+// splitSpecArg supports the documented `campaign run spec.yaml -flags`
+// order: the spec path may come before the flags (Go's flag package stops
+// at the first positional otherwise).
+func splitSpecArg(args []string) (spec string, rest []string) {
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+func parseCommand(name string, fs *flag.FlagSet, args []string) string {
+	fs.Usage = func() {
+		usage()
+		fmt.Fprintf(os.Stderr, "\nflags of %s:\n", name)
+		fs.PrintDefaults()
+	}
+	spec, rest := splitSpecArg(args)
+	fs.Parse(rest) // ExitOnError: exits 2 on unknown flags
+	if spec == "" && fs.NArg() > 0 {
+		spec = fs.Arg(0)
+		rest = fs.Args()[1:]
+		fs.Parse(rest)
+	}
+	if err := cli.RejectArgs("campaign "+name, fs.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fs.Usage()
+		os.Exit(2)
+	}
+	if spec == "" {
+		fmt.Fprintf(os.Stderr, "campaign %s: missing spec file\n", name)
+		fs.Usage()
+		os.Exit(2)
+	}
+	return spec
+}
+
+func loadPlan(path string) *campaign.Plan {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := dsl.ParseSpec(buf)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	plan, err := campaign.Compile(spec)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return plan
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	out := fs.String("out", "campaign-out", "output directory (manifest + artifacts)")
+	resume := fs.Bool("resume", false, "continue an interrupted campaign in -out")
+	quiet := fs.Bool("q", false, "suppress per-cell progress")
+	specPath := parseCommand("run", fs, args)
+
+	plan := loadPlan(specPath)
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	res, err := plan.Run(campaign.Options{
+		Workers: *workers, OutDir: *out, Resume: *resume, Logf: logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s: %d cells (%d simulated, %d resumed), %d artifact(s) in %s",
+		plan.Spec.Name, len(res.Rows), res.Ran, res.Skipped, len(res.Artifacts), *out)
+}
+
+func cmdCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	specPath := parseCommand("check", fs, args)
+	plan := loadPlan(specPath)
+	fmt.Printf("campaign %q: %d cell(s)\n", plan.Spec.Name, len(plan.Cells))
+	for _, c := range plan.Cells {
+		fmt.Printf("  %4d  %s\n", c.Index, c.Key())
+	}
+}

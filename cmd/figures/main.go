@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"insomnia/internal/cli"
 	"insomnia/internal/figures"
 	"insomnia/internal/perf"
 	"insomnia/internal/sim"
@@ -36,6 +37,11 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Parse()
+	if err := cli.RejectArgs("figures", flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	// check routes every fatal path through this idempotent cleanup so the
 	// CPU profile is finalized even on errors (log.Fatal skips defers).

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRejectsStrayArguments pins the CLI contract: `figures 10` (instead
+// of `figures -fig 10`) must exit non-zero with a usage message, not
+// silently regenerate everything with defaults.
+func TestRejectsStrayArguments(t *testing.T) {
+	out, err := exec.Command("go", "run", ".", "10").CombinedOutput()
+	if err == nil {
+		t.Fatalf("figures with a stray argument must exit non-zero; output:\n%s", out)
+	}
+	s := string(out)
+	// `go run` itself exits 1 but reports the child's status on stderr.
+	if !strings.Contains(s, "exit status 2") {
+		t.Errorf("want exit status 2, got:\n%s", s)
+	}
+	if !strings.Contains(s, "unexpected argument") || !strings.Contains(s, "Usage") {
+		t.Errorf("expected usage message, got:\n%s", s)
+	}
+}

@@ -1,52 +1,69 @@
-// Quickstart: generate a day of access-network traffic, build a wireless
-// overlap topology, run Broadband Hitch-Hiking with k-switches against the
-// no-sleep baseline, and print the energy savings.
+// Quickstart: declare a day of access-network evaluation as a scenario
+// spec — the same YAML a `cmd/campaign` spec file holds — run Broadband
+// Hitch-Hiking with k-switches against the no-sleep baseline through the
+// campaign engine, and print the energy savings.
 //
 //	go run ./examples/quickstart
+//
+// Everything here (trace profile, topology, schemes, seeds) is plain
+// configuration: change the spec string, or move it to a file and run it
+// with `go run ./cmd/campaign run myspec.yaml`.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
-	"insomnia/internal/sim"
-	"insomnia/internal/topology"
-	"insomnia/internal/trace"
+	"insomnia/internal/campaign"
+	"insomnia/internal/dsl"
 )
 
+// spec is the paper's §5.1 evaluation scenario: a UCSD-like office day,
+// 272 clients on 40 gateways, random overlap topology with on average
+// 5.6 networks in range of every client.
+const spec = `
+name: quickstart
+schemes: [no-sleep, BH2+k-switch]
+seeds: [42]
+trace:
+  profile: office
+  clients: 272
+  gateways: 40
+topology:
+  kind: overlap
+  mean_in_range: 5.6
+outputs: [summary]
+`
+
 func main() {
-	// 1. A UCSD-like trace: 272 clients on 40 access points, 6 Mbps lines.
-	tr, err := trace.Generate(trace.DefaultSimConfig(42))
+	log.SetFlags(0)
+
+	parsed, err := dsl.ParseSpec([]byte(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := campaign.Compile(parsed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := os.MkdirTemp("", "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(out)
+
+	res, err := plan.Run(campaign.Options{OutDir: out})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Who can hear whom: a random overlap topology with on average 5.6
-	// networks in range of every client.
-	graph, err := topology.OverlapGraph(tr.Cfg.APs, topology.DefaultMeanInRange, 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-	topo, err := topology.FromOverlap(graph, tr.ClientAP)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 3. Simulate the no-sleep baseline and BH2 + k-switch.
-	base, err := sim.Run(sim.Config{Trace: tr, Topo: topo, Scheme: sim.NoSleep, Seed: 42})
-	if err != nil {
-		log.Fatal(err)
-	}
-	bh2run, err := sim.Run(sim.Config{Trace: tr, Topo: topo, Scheme: sim.BH2KSwitch, Seed: 42})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 4. Report.
-	fmt.Printf("no-sleep energy:   %.1f kWh/day\n", base.Energy.Total()/3.6e6)
-	fmt.Printf("BH2+k-switch:      %.1f kWh/day\n", bh2run.Energy.Total()/3.6e6)
-	fmt.Printf("savings:           %.1f%%\n", bh2run.SavingsVs(base)*100)
-	fmt.Printf("gateways at 15-17h: %.1f of %d online\n",
-		sim.MeanOver(bh2run.OnlineGWs, 15, 17), tr.Cfg.APs)
-	fmt.Printf("hitch-hiking moves: %d, gateway wakeups: %d\n", bh2run.Moves, bh2run.Wakeups)
+	base, bh2 := res.Rows[0], res.Rows[1]
+	fmt.Printf("no-sleep energy:   %.1f kWh/day\n", base.EnergyKWh)
+	fmt.Printf("BH2+k-switch:      %.1f kWh/day\n", bh2.EnergyKWh)
+	fmt.Printf("savings:           %.1f%%\n", (1-bh2.EnergyKWh/base.EnergyKWh)*100)
+	fmt.Printf("mean online gateways: %.1f of %d (no-sleep: %.0f)\n",
+		bh2.MeanOnlineGWs, parsed.Trace.Gateways, base.MeanOnlineGWs)
+	fmt.Printf("hitch-hiking moves: %d, gateway wakeups: %d\n", bh2.Moves, bh2.Wakeups)
+	fmt.Printf("(summary.csv was written to a temp dir; see cmd/campaign for persistent runs)\n")
 }

@@ -1,0 +1,345 @@
+// Package campaign compiles a declarative scenario spec (dsl.Spec) into a
+// deterministic batch of simulations and runs it to completion with
+// checkpoint/resume.
+//
+// A spec expands into *cells*: the cross-product of scenario variants
+// (sweep-axis values), seeds and schemes, in a fixed enumeration order
+// (variants outermost, then seeds, then schemes). Cells that share a
+// (variant, seed) pair share one generated trace and topology fixture —
+// the runner's read-only-fixture contract — so adding schemes to a
+// campaign costs simulation time only.
+//
+// Progress is checkpointed to <out>/manifest.jsonl: a header line binding
+// the manifest to the spec's hash, then one line per finished cell in
+// cell order (runner.RunStream guarantees completed prefixes), each
+// carrying the reduced metrics row. Resuming skips every cell already in
+// the manifest and rebuilds artifacts from the union, so an interrupted
+// then resumed campaign writes byte-identical artifacts to an
+// uninterrupted one, at any worker count.
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"insomnia/internal/dsl"
+	"insomnia/internal/sim"
+	"insomnia/internal/topology"
+	"insomnia/internal/trace"
+)
+
+// SchemeByName maps a canonical scheme name (dsl.SchemeNames) to the
+// sim.Scheme it denotes. The mapping is pinned to sim.Scheme.String() by
+// TestSchemeNamesMatchSim.
+func SchemeByName(name string) (sim.Scheme, error) {
+	for _, sc := range []sim.Scheme{
+		sim.NoSleep, sim.SoI, sim.SoIKSwitch, sim.SoIFullSwitch,
+		sim.BH2KSwitch, sim.BH2FullSwitch, sim.BH2NoBackup,
+		sim.Optimal, sim.Centralized,
+	} {
+		if sc.String() == name {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("campaign: unknown scheme %q", name)
+}
+
+// Cell is one (scenario variant, seed, scheme) simulation in a campaign.
+type Cell struct {
+	Index    int    // position in enumeration order
+	Scenario string // variant label, e.g. "base" or "mean-in-range=7,k=2"
+	Seed     int64
+	Scheme   sim.Scheme
+	variant  int // index into Plan.variants
+}
+
+// Key identifies the cell in the manifest, stable across processes.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s|%s|%d", c.Scenario, c.Scheme, c.Seed)
+}
+
+// variant is one sweep-axis combination: the base spec with the axis
+// overrides applied.
+type variant struct {
+	label string
+	spec  dsl.Spec
+}
+
+// Plan is a compiled campaign: the normalized spec plus its full cell
+// enumeration.
+type Plan struct {
+	Spec     dsl.Spec
+	Hash     string
+	Cells    []Cell
+	variants []variant
+}
+
+// Compile validates the spec and expands sweeps, seeds and schemes into
+// the campaign's cell list. Every variant is re-validated after its axis
+// overrides (a sweep can produce an invalid combination, e.g. more
+// gateways than clients).
+func Compile(spec dsl.Spec) (*Plan, error) {
+	spec, err := spec.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Spec: spec, Hash: spec.Hash()}
+
+	combos := enumerate(spec.Sweeps)
+	for _, combo := range combos {
+		v := variant{spec: spec}
+		var parts []string
+		for i, sw := range spec.Sweeps {
+			applyAxis(&v.spec, sw.Axis, combo[i])
+			parts = append(parts, fmt.Sprintf("%s=%s", sw.Axis, strconv.FormatFloat(combo[i], 'g', -1, 64)))
+		}
+		v.label = "base"
+		if len(parts) > 0 {
+			v.label = strings.Join(parts, ",")
+		}
+		v.spec.Sweeps = nil
+		if v.spec, err = v.spec.WithDefaults(); err != nil {
+			return nil, fmt.Errorf("campaign: variant %s: %w", v.label, err)
+		}
+		p.variants = append(p.variants, v)
+	}
+
+	for vi, v := range p.variants {
+		for _, seed := range spec.Seeds {
+			for _, name := range spec.Schemes {
+				sc, err := SchemeByName(name)
+				if err != nil {
+					return nil, err
+				}
+				p.Cells = append(p.Cells, Cell{
+					Index: len(p.Cells), Scenario: v.label,
+					Seed: seed, Scheme: sc, variant: vi,
+				})
+			}
+		}
+	}
+	return p, nil
+}
+
+// enumerate returns the cross-product of sweep values in enumeration
+// order: the first sweep is the outermost loop. With no sweeps it returns
+// one empty combination (the base variant).
+func enumerate(sweeps []dsl.Sweep) [][]float64 {
+	combos := [][]float64{nil}
+	for _, sw := range sweeps {
+		var next [][]float64
+		for _, c := range combos {
+			for _, v := range sw.Values {
+				combo := append(append([]float64(nil), c...), v)
+				next = append(next, combo)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+func applyAxis(s *dsl.Spec, axis string, v float64) {
+	switch axis {
+	case "mean-in-range":
+		s.Topology.MeanInRange = v
+	case "clients":
+		s.Trace.Clients = int(v)
+	case "gateways":
+		s.Trace.Gateways = int(v)
+	case "k":
+		s.K = int(v)
+	case "idle-timeout":
+		s.IdleTimeout = v
+	case "duration":
+		s.Duration = v
+	}
+}
+
+// fixture is the shared read-only scenario of one (variant, seed) group.
+type fixture struct {
+	tr *trace.Trace
+	tp *topology.Topology
+}
+
+// buildFixture generates the trace and topology for one variant at one
+// seed. Deterministic in (variant spec, seed).
+func buildFixture(sp dsl.Spec, seed int64) (*fixture, error) {
+	cfg, err := traceConfig(sp, seed)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := buildTopology(sp, tr, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &fixture{tr: tr, tp: tp}, nil
+}
+
+// traceConfig maps a trace spec to a generator config. Profile families
+// reuse the calibrated defaults: "office" is the §5 evaluation workload,
+// everything else derives from the residential city workload.
+func traceConfig(sp dsl.Spec, seed int64) (trace.Config, error) {
+	t := sp.Trace
+	var cfg trace.Config
+	switch t.Profile {
+	case "office":
+		cfg = trace.DefaultSimConfig(seed)
+	case "residential", "flash-crowd", "diurnal-mix", "churn":
+		cfg = trace.DefaultCityConfig(seed)
+	default:
+		return cfg, fmt.Errorf("campaign: unknown trace profile %q", t.Profile)
+	}
+	cfg.Clients, cfg.APs = t.Clients, t.Gateways
+	cfg.Duration = sp.Duration
+	// Profile parameters were resolved by dsl's WithDefaults: the pointers
+	// relevant to the chosen profile are non-nil in a normalized spec.
+	switch t.Profile {
+	case "flash-crowd":
+		cfg.Profile = trace.FlashCrowd(cfg.Profile, *t.FlashHour, *t.FlashHours, *t.FlashScale)
+	case "diurnal-mix":
+		cfg.Profile = trace.Mix(cfg.Profile, trace.WeekendProfile, *t.WeekendFrac)
+	case "churn":
+		cfg = cfg.WithChurn(*t.ChurnFactor)
+	}
+	return cfg, nil
+}
+
+func buildTopology(sp dsl.Spec, tr *trace.Trace, seed int64) (*topology.Topology, error) {
+	gws, mir := sp.Trace.Gateways, sp.Topology.MeanInRange
+	switch sp.Topology.Kind {
+	case "overlap":
+		g, err := topology.OverlapGraph(gws, mir, seed)
+		if err != nil {
+			return nil, err
+		}
+		return topology.FromOverlap(g, tr.ClientAP)
+	case "grid-city":
+		g, err := topology.GridCity(gws, mir, seed)
+		if err != nil {
+			return nil, err
+		}
+		return topology.FromOverlap(g, tr.ClientAP)
+	case "binomial":
+		return topology.Binomial(gws, tr.ClientAP, mir, seed)
+	}
+	return nil, fmt.Errorf("campaign: unknown topology kind %q", sp.Topology.Kind)
+}
+
+// shelf sizes the DSLAM: the spec's explicit shape, the paper's 4x12
+// evaluation shelf when it fits, else enough 48-port cards for every
+// gateway rounded up to whole groups of the k-switch size.
+func shelf(sp dsl.Spec) dsl.DSLAM {
+	if sp.Shelf.Cards > 0 {
+		return dsl.DSLAM{Cards: sp.Shelf.Cards, PortsPerCard: sp.Shelf.PortsPerCard}
+	}
+	if sp.Trace.Gateways <= dsl.EvalDSLAM.Ports() {
+		return dsl.EvalDSLAM
+	}
+	cards := (sp.Trace.Gateways + 47) / 48
+	group := sp.K
+	if group <= 0 {
+		group = 4
+	}
+	if r := cards % group; r != 0 {
+		cards += group - r
+	}
+	return dsl.DSLAM{Cards: cards, PortsPerCard: 48}
+}
+
+// simConfig assembles the sim.Config of one cell over its fixture.
+func simConfig(v dsl.Spec, f *fixture, c Cell) sim.Config {
+	return sim.Config{
+		Trace: f.tr, Topo: f.tp,
+		Scheme: c.Scheme, Seed: c.Seed,
+		DSLAM: shelf(v), K: v.K,
+		IdleTimeout: v.IdleTimeout,
+	}
+}
+
+// Row is one cell's reduced result — everything the artifacts need, small
+// enough to live in the manifest so resume never re-simulates.
+type Row struct {
+	Scenario      string    `json:"scenario"`
+	Scheme        string    `json:"scheme"`
+	Seed          int64     `json:"seed"`
+	EnergyKWh     float64   `json:"energy_kwh"`
+	UserKWh       float64   `json:"user_kwh"`
+	ISPKWh        float64   `json:"isp_kwh"`
+	Wakeups       int       `json:"wakeups"`
+	Moves         int       `json:"moves"`
+	Resolves      int       `json:"resolves"`
+	MeanOnlineGWs float64   `json:"mean_online_gws"`
+	FCTP50        float64   `json:"fct_p50"`
+	FCTP95        float64   `json:"fct_p95"`
+	PowerHourly   []float64 `json:"power_hourly,omitempty"`
+}
+
+// reduce summarizes one simulation result into its manifest row.
+// withPower additionally keeps the hourly mean power series (requested by
+// the "power" output).
+func reduce(c Cell, duration float64, res *sim.Result, withPower bool) Row {
+	const kWh = 3.6e6
+	row := Row{
+		Scenario:  c.Scenario,
+		Scheme:    c.Scheme.String(),
+		Seed:      c.Seed,
+		EnergyKWh: res.Energy.Total() / kWh,
+		UserKWh:   res.Energy.UserJ / kWh,
+		ISPKWh:    res.Energy.ISPJ / kWh,
+		Wakeups:   res.Wakeups,
+		Moves:     res.Moves,
+		Resolves:  res.Resolves,
+	}
+	hours := duration / 3600
+	row.MeanOnlineGWs = round6(sim.MeanOver(res.OnlineGWs, 0, hours))
+	row.FCTP50, row.FCTP95 = fctPercentiles(res.FCT)
+	if withPower {
+		n := int(math.Ceil(hours))
+		for h := 0; h < n; h++ {
+			row.PowerHourly = append(row.PowerHourly, round6(sim.MeanOver(res.PowerW, float64(h), float64(h+1))))
+		}
+	}
+	row.EnergyKWh, row.UserKWh, row.ISPKWh = round6(row.EnergyKWh), round6(row.UserKWh), round6(row.ISPKWh)
+	return row
+}
+
+// fctPercentiles returns the 50th and 95th percentile downlink flow
+// completion times, ignoring the NaN entries of unsimulated uplink flows.
+func fctPercentiles(fct []float64) (p50, p95 float64) {
+	xs := make([]float64, 0, len(fct))
+	for _, v := range fct {
+		if !math.IsNaN(v) {
+			xs = append(xs, v)
+		}
+	}
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(xs)
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(xs)-1))
+		return xs[i]
+	}
+	return round6(pick(0.50)), round6(pick(0.95))
+}
+
+// round6 rounds to 6 significant-ish decimal digits so manifest rows and
+// artifacts are stable text regardless of accumulated float formatting.
+func round6(x float64) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	f, err := strconv.ParseFloat(strconv.FormatFloat(x, 'g', 6, 64), 64)
+	if err != nil {
+		return x
+	}
+	return f
+}

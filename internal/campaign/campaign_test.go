@@ -1,0 +1,288 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"insomnia/internal/dsl"
+	"insomnia/internal/sim"
+)
+
+// TestSchemeNamesMatchSim pins dsl.SchemeNames (what specs may say) to
+// sim.Scheme (what the engine runs): every name resolves, resolves to a
+// scheme that spells itself that way, and every engine scheme is
+// reachable from a spec.
+func TestSchemeNamesMatchSim(t *testing.T) {
+	seen := map[sim.Scheme]bool{}
+	for _, name := range dsl.SchemeNames {
+		sc, err := SchemeByName(name)
+		if err != nil {
+			t.Errorf("dsl.SchemeNames lists %q but campaign cannot resolve it: %v", name, err)
+			continue
+		}
+		if sc.String() != name {
+			t.Errorf("%q resolves to %v which spells itself %q", name, sc, sc.String())
+		}
+		seen[sc] = true
+	}
+	for sc := sim.NoSleep; sc <= sim.Centralized; sc++ {
+		if !seen[sc] {
+			t.Errorf("engine scheme %v is not reachable from dsl.SchemeNames", sc)
+		}
+	}
+	if _, err := SchemeByName("BH3"); err == nil {
+		t.Error("unknown scheme must not resolve")
+	}
+}
+
+// testSpec is a campaign small enough for unit tests: two schemes, two
+// seeds, one swept axis -> 8 cells of a 1-hour office scenario.
+const testSpec = `
+name: unit
+schemes: [no-sleep, SoI]
+seeds: [1, 2]
+duration: 3600
+trace:
+  profile: office
+  clients: 48
+  gateways: 8
+topology:
+  kind: overlap
+  mean_in_range: 5
+sweeps:
+  - axis: k
+    values: [2, 4]
+outputs: [summary, json, power]
+`
+
+func compileTestPlan(t *testing.T) *Plan {
+	t.Helper()
+	spec, err := dsl.ParseSpec([]byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileEnumeration(t *testing.T) {
+	p := compileTestPlan(t)
+	if len(p.Cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(p.Cells))
+	}
+	// Variants outermost, then seeds, then schemes.
+	want := []string{
+		"k=2|no-sleep|1", "k=2|SoI|1", "k=2|no-sleep|2", "k=2|SoI|2",
+		"k=4|no-sleep|1", "k=4|SoI|1", "k=4|no-sleep|2", "k=4|SoI|2",
+	}
+	for i, c := range p.Cells {
+		if c.Key() != want[i] {
+			t.Errorf("cell %d key %q, want %q", i, c.Key(), want[i])
+		}
+		if c.Index != i {
+			t.Errorf("cell %d has Index %d", i, c.Index)
+		}
+	}
+	// Sweep overrides land in the variant specs.
+	if p.variants[0].spec.K != 2 || p.variants[1].spec.K != 4 {
+		t.Errorf("sweep values not applied: %+v", p.variants)
+	}
+}
+
+func TestCompileRejectsInvalidVariant(t *testing.T) {
+	spec, err := dsl.ParseSpec([]byte(`
+schemes: [SoI]
+trace:
+  profile: office
+  clients: 48
+  gateways: 8
+sweeps:
+  - axis: gateways
+    values: [8, 96]
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(spec); err == nil || !strings.Contains(err.Error(), "gateways=96") {
+		t.Errorf("sweeping gateways past clients must fail with the variant named, got %v", err)
+	}
+}
+
+func readArtifacts(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range []string{"summary.csv", "results.json", "power.csv"} {
+		buf, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = string(buf)
+	}
+	return out
+}
+
+// TestArtifactsDeterministicAcrossWorkers runs the same campaign serially
+// and with 4 workers; every artifact must be byte-identical.
+func TestArtifactsDeterministicAcrossWorkers(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	ra, err := compileTestPlan(t).Run(Options{Workers: 1, OutDir: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := compileTestPlan(t).Run(Options{Workers: 4, OutDir: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Ran != 8 || rb.Ran != 8 || ra.Skipped != 0 {
+		t.Fatalf("unexpected run counts: %+v vs %+v", ra, rb)
+	}
+	fa, fb := readArtifacts(t, a), readArtifacts(t, b)
+	for name := range fa {
+		if fa[name] != fb[name] {
+			t.Errorf("%s differs between 1 and 4 workers", name)
+		}
+	}
+	// The summary actually contains savings against the no-sleep baseline.
+	if !strings.Contains(fa["summary.csv"], "savings_pct") {
+		t.Error("summary.csv missing savings column")
+	}
+	for _, row := range strings.Split(strings.TrimSpace(fa["summary.csv"]), "\n")[1:] {
+		if strings.Count(row, ",") < 12-1 {
+			t.Errorf("short summary row: %q", row)
+		}
+	}
+}
+
+// TestResumeMatchesUninterrupted simulates an interruption by truncating
+// a finished campaign's manifest to a prefix, then resuming in a second
+// directory: the resumed campaign must rebuild byte-identical artifacts
+// and only simulate the missing cells.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	full := t.TempDir()
+	rFull, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(full, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(manifest), "\n")
+	if len(lines) < 9 {
+		t.Fatalf("manifest has %d lines, want header + 8 cells", len(lines))
+	}
+
+	// Interrupt after 3 completed cells, mid-write of the 4th: the torn
+	// final line must be tolerated and its cell re-run.
+	interrupted := t.TempDir()
+	torn := strings.Join(lines[:4], "") + lines[4][:len(lines[4])/2]
+	if err := os.WriteFile(filepath.Join(interrupted, ManifestName), []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rRes, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: interrupted, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRes.Skipped != 3 || rRes.Ran != 5 {
+		t.Errorf("resume skipped %d ran %d, want 3/5", rRes.Skipped, rRes.Ran)
+	}
+	fa, fb := readArtifacts(t, full), readArtifacts(t, interrupted)
+	for name := range fa {
+		if fa[name] != fb[name] {
+			t.Errorf("%s differs between uninterrupted and resumed runs", name)
+		}
+	}
+	if len(rFull.Rows) != len(rRes.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(rFull.Rows), len(rRes.Rows))
+	}
+	for i := range rFull.Rows {
+		if !rowsEqual(rFull.Rows[i], rRes.Rows[i]) {
+			t.Errorf("row %d differs after resume", i)
+		}
+	}
+}
+
+func rowsEqual(a, b Row) bool { return reflect.DeepEqual(a, b) }
+
+func TestRunRefusesForeignManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Same directory, same spec, no -resume: refuse to clobber.
+	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir}); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Errorf("rerun without resume should refuse, got %v", err)
+	}
+	// Changed spec, -resume: refuse the mismatched checkpoint.
+	spec, err := dsl.ParseSpec([]byte(strings.Replace(testSpec, "seeds: [1, 2]", "seeds: [1, 3]", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Run(Options{Workers: 2, OutDir: dir, Resume: true}); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Errorf("resume with changed spec should refuse, got %v", err)
+	}
+}
+
+// TestProfileFamilies compiles and builds one fixture per profile family,
+// covering traceConfig and every topology kind.
+func TestProfileFamilies(t *testing.T) {
+	for _, tc := range []struct{ profile, topo string }{
+		{"office", "overlap"},
+		{"residential", "grid-city"},
+		{"flash-crowd", "grid-city"},
+		{"diurnal-mix", "binomial"},
+		{"churn", "overlap"},
+	} {
+		spec, err := dsl.Spec{
+			Schemes:  []string{"SoI"},
+			Duration: 1800,
+			Trace:    dsl.TraceSpec{Profile: tc.profile, Clients: 30, Gateways: 10},
+			Topology: dsl.TopoSpec{Kind: tc.topo, MeanInRange: 4},
+		}.WithDefaults()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.profile, err)
+		}
+		p, err := Compile(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.profile, err)
+		}
+		f, err := buildFixture(p.variants[0].spec, 5)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.profile, tc.topo, err)
+		}
+		if f.tp.NumGateways != 10 || f.tr.Cfg.Clients != 30 {
+			t.Errorf("%s: fixture shape wrong", tc.profile)
+		}
+		if f.tr.Cfg.Duration != 1800 {
+			t.Errorf("%s: duration not applied", tc.profile)
+		}
+	}
+}
+
+// TestShelfAutoSizing covers the DSLAM auto-shape: the paper's shelf for
+// small scenarios, whole 48-port k-groups for metros, explicit wins.
+func TestShelfAutoSizing(t *testing.T) {
+	small := dsl.Spec{Trace: dsl.TraceSpec{Gateways: 40}, K: 4}
+	if s := shelf(small); s != dsl.EvalDSLAM {
+		t.Errorf("small scenario should use the eval shelf, got %+v", s)
+	}
+	metro := dsl.Spec{Trace: dsl.TraceSpec{Gateways: 1000}, K: 4}
+	s := shelf(metro)
+	if s.PortsPerCard != 48 || s.Cards%4 != 0 || s.Ports() < 1000 {
+		t.Errorf("metro shelf wrong: %+v", s)
+	}
+	explicit := dsl.Spec{Shelf: dsl.ShelfSpec{Cards: 3, PortsPerCard: 20}, Trace: dsl.TraceSpec{Gateways: 40}}
+	if s := shelf(explicit); s.Cards != 3 || s.PortsPerCard != 20 {
+		t.Errorf("explicit shelf ignored: %+v", s)
+	}
+}

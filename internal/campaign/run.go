@@ -1,0 +1,434 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"insomnia/internal/figures"
+	"insomnia/internal/runner"
+	"insomnia/internal/sim"
+)
+
+// ManifestName is the checkpoint file inside the output directory.
+const ManifestName = "manifest.jsonl"
+
+// Options controls one campaign execution.
+type Options struct {
+	// Workers caps concurrent simulations; <=0 means GOMAXPROCS.
+	Workers int
+	// OutDir receives the manifest and artifacts. Required.
+	OutDir string
+	// Resume skips cells already recorded in OutDir's manifest (from an
+	// interrupted earlier run of the same spec). Without Resume an
+	// existing manifest is an error — a campaign does not silently
+	// overwrite another's checkpoint.
+	Resume bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// RunResult reports what a campaign execution did.
+type RunResult struct {
+	Rows      []Row    // one per cell, in cell enumeration order
+	Ran       int      // cells simulated in this execution
+	Skipped   int      // cells restored from the manifest
+	Artifacts []string // files written under OutDir
+}
+
+// manifestHeader is the first line of a manifest, binding it to a spec.
+type manifestHeader struct {
+	Campaign string `json:"campaign"`
+	Hash     string `json:"hash"`
+	Version  int    `json:"version"`
+}
+
+// manifestEntry is one completed cell.
+type manifestEntry struct {
+	Key string `json:"key"`
+	Row Row    `json:"row"`
+}
+
+// Run executes the plan: it restores completed cells from the manifest
+// (when resuming), simulates the remainder over the worker pool —
+// checkpointing each completed cell-order prefix — and writes the spec's
+// artifacts. Artifacts are byte-deterministic in (spec, seeds): worker
+// count, interruption and resume cannot change them.
+func (p *Plan) Run(opts Options) (*RunResult, error) {
+	if opts.OutDir == "" {
+		return nil, fmt.Errorf("campaign: Options.OutDir is required")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+	manifestPath := filepath.Join(opts.OutDir, ManifestName)
+
+	done := map[string]Row{}
+	if _, err := os.Stat(manifestPath); err == nil {
+		if !opts.Resume {
+			return nil, fmt.Errorf("campaign: %s exists; pass -resume to continue it or choose a fresh -out", manifestPath)
+		}
+		var err error
+		done, err = readManifest(manifestPath, p.Hash)
+		if err != nil {
+			return nil, err
+		}
+	} else if opts.Resume && !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	var pending []Cell
+	for _, c := range p.Cells {
+		if _, ok := done[c.Key()]; !ok {
+			pending = append(pending, c)
+		}
+	}
+	res := &RunResult{Ran: len(pending), Skipped: len(p.Cells) - len(pending)}
+	logf("campaign %s: %d cells (%d cached, %d to run), %d variant(s)",
+		p.Spec.Name, len(p.Cells), res.Skipped, res.Ran, len(p.variants))
+
+	if len(pending) > 0 {
+		if err := p.runPending(pending, done, manifestPath, opts, logf); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, c := range p.Cells {
+		row, ok := done[c.Key()]
+		if !ok {
+			return nil, fmt.Errorf("campaign: cell %s missing after run", c.Key())
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	arts, err := p.writeArtifacts(opts.OutDir, res.Rows)
+	if err != nil {
+		return nil, err
+	}
+	res.Artifacts = arts
+	for _, a := range arts {
+		logf("wrote %s", a)
+	}
+	return res, nil
+}
+
+// runPending generates the fixtures the pending cells need, simulates
+// them on the worker pool and appends each completed cell-order prefix to
+// the manifest.
+func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath string, opts Options, logf func(string, ...any)) error {
+	// Generate the fixtures the pending cells need, in parallel: fixture
+	// generation is deterministic per (variant, seed) and independent, so
+	// the worker pool does not have to idle behind serial trace synthesis.
+	// All pending fixtures stay resident for the run — shard a campaign
+	// into several specs if variants x seeds of a city-scale scenario
+	// exceed memory.
+	type groupKey struct {
+		variant int
+		seed    int64
+	}
+	var groups []groupKey
+	for _, c := range pending {
+		k := groupKey{c.variant, c.Seed}
+		if len(groups) == 0 || groups[len(groups)-1] != k {
+			groups = append(groups, k)
+		}
+	}
+	logf("generating %d scenario fixture(s)...", len(groups))
+	fixtures := make(map[groupKey]*fixture, len(groups))
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, genWorkers(opts.Workers, len(groups)))
+	)
+	errs := make([]error, len(groups))
+	for i, k := range groups {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, k groupKey) {
+			defer func() { <-sem; wg.Done() }()
+			f, err := buildFixture(p.variants[k.variant].spec, k.seed)
+			if err != nil {
+				errs[i] = fmt.Errorf("campaign: scenario %s seed %d: %w", p.variants[k.variant].label, k.seed, err)
+				return
+			}
+			mu.Lock()
+			fixtures[k] = f
+			mu.Unlock()
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	mf, err := openManifest(manifestPath, p, len(done) > 0)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+
+	jobs := make([]runner.Job, len(pending))
+	for i, c := range pending {
+		v := p.variants[c.variant].spec
+		jobs[i] = runner.Job{
+			Name:   c.Key(),
+			Config: simConfig(v, fixtures[groupKey{c.variant, c.Seed}], c),
+		}
+	}
+	withPower := p.Spec.HasOutput("power")
+	enc := json.NewEncoder(mf)
+	var emitErr error
+	outs := (runner.Runner{Workers: opts.Workers}).RunStream(jobs, func(i int, o runner.Outcome) {
+		if o.Err != nil || emitErr != nil {
+			return
+		}
+		c := pending[i]
+		row := reduce(c, p.variants[c.variant].spec.Duration, o.Result, withPower)
+		done[c.Key()] = row
+		if err := enc.Encode(manifestEntry{Key: c.Key(), Row: row}); err != nil {
+			emitErr = err
+			return
+		}
+		if err := mf.Flush(); err != nil {
+			emitErr = err
+			return
+		}
+		logf("  [%d/%d] %s", len(done), len(p.Cells), c.Key())
+	})
+	if err := runner.FirstErr(outs); err != nil {
+		return err
+	}
+	if emitErr != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", emitErr)
+	}
+	return mf.Sync()
+}
+
+// genWorkers bounds fixture-generation concurrency like the runner
+// bounds simulation concurrency.
+func genWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// flushFile is an os.File behind a bufio.Writer with checkpoint-grained
+// flushing.
+type flushFile struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func (ff *flushFile) Write(p []byte) (int, error) { return ff.w.Write(p) }
+func (ff *flushFile) Flush() error                { return ff.w.Flush() }
+func (ff *flushFile) Sync() error {
+	if err := ff.w.Flush(); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+func (ff *flushFile) Close() error {
+	ff.w.Flush()
+	return ff.f.Close()
+}
+
+// openManifest opens the checkpoint for appending, writing the header
+// when the file is fresh.
+func openManifest(path string, p *Plan, resuming bool) (*flushFile, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	ff := &flushFile{f: f, w: bufio.NewWriter(f)}
+	if !resuming {
+		if st, err := f.Stat(); err == nil && st.Size() == 0 {
+			hdr := manifestHeader{Campaign: p.Spec.Name, Hash: p.Hash, Version: 1}
+			if err := json.NewEncoder(ff).Encode(hdr); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := ff.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	return ff, nil
+}
+
+// readManifest loads a checkpoint, verifying it belongs to the same spec.
+// A torn final line (the process died mid-append) is tolerated and
+// dropped; corruption anywhere else is an error.
+func readManifest(path, wantHash string) (map[string]Row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("campaign: %s: empty manifest", path)
+	}
+	var hdr manifestHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("campaign: %s: bad manifest header: %w", path, err)
+	}
+	if hdr.Hash != wantHash {
+		return nil, fmt.Errorf("campaign: %s belongs to a different spec (hash %s, want %s); use a fresh -out", path, hdr.Hash, wantHash)
+	}
+	done := map[string]Row{}
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			return nil, pendingErr // corrupt line that was not the last
+		}
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e manifestEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			pendingErr = fmt.Errorf("campaign: %s: corrupt manifest entry: %w", path, err)
+			continue
+		}
+		done[e.Key] = e.Row
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return done, nil
+}
+
+// writeArtifacts renders the requested artifacts from the full row set,
+// in cell order. All output is deterministic text.
+func (p *Plan) writeArtifacts(dir string, rows []Row) ([]string, error) {
+	var arts []string
+	write := func(name string, fn func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		arts = append(arts, path)
+		return nil
+	}
+	if p.Spec.HasOutput("summary") {
+		if err := write("summary.csv", func(w io.Writer) error { return writeSummaryCSV(w, rows) }); err != nil {
+			return nil, err
+		}
+	}
+	if p.Spec.HasOutput("json") {
+		if err := write("results.json", func(w io.Writer) error { return p.writeResultsJSON(w, rows) }); err != nil {
+			return nil, err
+		}
+	}
+	if p.Spec.HasOutput("power") {
+		if err := write("power.csv", func(w io.Writer) error { return writePowerCSV(w, rows) }); err != nil {
+			return nil, err
+		}
+	}
+	return arts, nil
+}
+
+// writeSummaryCSV writes one row per cell. The savings column compares
+// each cell against the no-sleep cell of the same (scenario, seed) when
+// the campaign includes one; baseline rows read 0 and campaigns without a
+// baseline leave the column blank.
+func writeSummaryCSV(w io.Writer, rows []Row) error {
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.Scheme == sim.NoSleep.String() {
+			base[r.Scenario+"|"+strconv.FormatInt(r.Seed, 10)] = r.EnergyKWh
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"scenario", "scheme", "seed", "energy_kwh", "user_kwh", "isp_kwh",
+		"savings_pct", "wakeups", "moves", "resolves", "mean_online_gws", "fct_p50_s", "fct_p95_s",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		savings := ""
+		if b, ok := base[r.Scenario+"|"+strconv.FormatInt(r.Seed, 10)]; ok && b > 0 {
+			savings = fmtF(round6((1 - r.EnergyKWh/b) * 100))
+		}
+		rec := []string{
+			r.Scenario, r.Scheme, strconv.FormatInt(r.Seed, 10),
+			fmtF(r.EnergyKWh), fmtF(r.UserKWh), fmtF(r.ISPKWh), savings,
+			strconv.Itoa(r.Wakeups), strconv.Itoa(r.Moves), strconv.Itoa(r.Resolves),
+			fmtF(r.MeanOnlineGWs), fmtF(r.FCTP50), fmtF(r.FCTP95),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// resultsJSON is the deterministic results.json shape. No timestamps: two
+// runs of the same spec must produce identical bytes.
+type resultsJSON struct {
+	Campaign string `json:"campaign"`
+	Hash     string `json:"hash"`
+	Cells    int    `json:"cells"`
+	Rows     []Row  `json:"rows"`
+}
+
+func (p *Plan) writeResultsJSON(w io.Writer, rows []Row) error {
+	// Strip the bulky hourly series from the JSON rows; it has its own
+	// artifact (power.csv) when requested.
+	slim := make([]Row, len(rows))
+	for i, r := range rows {
+		r.PowerHourly = nil
+		slim[i] = r
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resultsJSON{Campaign: p.Spec.Name, Hash: p.Hash, Cells: len(rows), Rows: slim})
+}
+
+// writePowerCSV renders every cell's hourly mean power as one series
+// column over a shared hour axis, via the figures CSV writer.
+func writePowerCSV(w io.Writer, rows []Row) error {
+	var series []figures.Series
+	for _, r := range rows {
+		s := figures.Series{Name: fmt.Sprintf("%s/%s/seed%d", r.Scenario, r.Scheme, r.Seed)}
+		for h, v := range r.PowerHourly {
+			s.X = append(s.X, float64(h))
+			s.Y = append(s.Y, v)
+		}
+		series = append(series, s)
+	}
+	return figures.WriteSeriesCSV(w, "hour", series)
+}
+
+func fmtF(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }

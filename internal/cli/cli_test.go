@@ -1,0 +1,24 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRejectArgs(t *testing.T) {
+	if err := RejectArgs("bench", nil); err != nil {
+		t.Errorf("no args should pass, got %v", err)
+	}
+	if err := RejectArgs("bench", []string{}); err != nil {
+		t.Errorf("empty args should pass, got %v", err)
+	}
+	err := RejectArgs("bench", []string{"tyop", "extra"})
+	if err == nil {
+		t.Fatal("stray args must error")
+	}
+	for _, want := range []string{"bench", "tyop", "extra", "unexpected"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package dsl
+
+// A minimal YAML-subset parser for scenario specs. The repository takes no
+// external dependencies, and campaign specs only need the boring core of
+// YAML, so that core is implemented here:
+//
+//   - block mappings (`key: value`), nested by indentation (spaces only);
+//   - block sequences (`- item`), including sequences of mappings where
+//     the first key sits on the dash line and continuation keys are
+//     indented two columns past the dash;
+//   - flow sequences of scalars (`[1, 2, 3]`);
+//   - scalars: null/true/false, integers, floats, single/double-quoted
+//     and bare strings;
+//   - `#` comments and blank lines.
+//
+// Anchors, aliases, multi-document streams, flow mappings, block scalars
+// and tabs are rejected with positioned errors. The parse result uses
+// map[string]any / []any / scalar values, which ParseSpec re-marshals to
+// JSON for strict struct decoding.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content without indentation or trailing comment
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses one YAML document into map/slice/scalar values.
+func parseYAML(data []byte) (any, error) {
+	lines, err := splitYAMLLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("dsl: yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, p.errf(p.lines[p.pos], "unexpected content")
+	}
+	return v, nil
+}
+
+func splitYAMLLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimRight(raw, " \r")
+		if strings.Contains(line, "\t") {
+			return nil, fmt.Errorf("dsl: yaml line %d: tabs are not allowed", i+1)
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		text := stripYAMLComment(line[indent:])
+		text = strings.TrimRight(text, " ")
+		if text == "" {
+			continue
+		}
+		if text == "---" || text == "..." {
+			return nil, fmt.Errorf("dsl: yaml line %d: multi-document streams are not supported", i+1)
+		}
+		out = append(out, yamlLine{num: i + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// stripYAMLComment removes a trailing comment: a '#' outside quotes that
+// is at the start of the content or preceded by a space. A quote opens a
+// string only at a token start (content start, or after a space, ':',
+// ',' or '[') — an apostrophe inside a bare scalar like `bob's` is just
+// a character, so the comment after it still strips.
+func stripYAMLComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case (c == '\'' || c == '"') && tokenStart(s, i):
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// tokenStart reports whether index i begins a new token, i.e. a quote
+// here opens a string rather than sitting inside a bare scalar.
+func tokenStart(s string, i int) bool {
+	if i == 0 {
+		return true
+	}
+	switch s[i-1] {
+	case ' ', ':', ',', '[':
+		return true
+	}
+	return false
+}
+
+func (p *yamlParser) errf(l yamlLine, format string, args ...any) error {
+	return fmt.Errorf("dsl: yaml line %d: %s", l.num, fmt.Sprintf(format, args...))
+}
+
+// parseBlock parses the mapping or sequence starting at the current line,
+// which must be indented exactly `indent`.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, p.errf(l, "bad indentation (got %d, want %d)", l.indent, indent)
+	}
+	if isSeqItem(l.text) {
+		return p.parseSeq(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *yamlParser) parseMap(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, p.errf(l, "unexpected indent")
+		}
+		if isSeqItem(l.text) {
+			return nil, p.errf(l, "sequence item in mapping")
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, p.errf(l, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseFlowValue(l, rest)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Value is the nested block on the following deeper-indented
+		// lines, a sequence at the key's own indent (YAML allows both),
+		// or null when none follows.
+		switch {
+		case p.pos < len(p.lines) && p.lines[p.pos].indent > indent:
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		case p.pos < len(p.lines) && p.lines[p.pos].indent == indent && isSeqItem(p.lines[p.pos].text):
+			v, err := p.parseSeq(indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		default:
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseSeq(indent int) (any, error) {
+	s := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, p.errf(l, "unexpected indent")
+		}
+		if !isSeqItem(l.text) {
+			break
+		}
+		if l.text == "-" {
+			// Item is the nested block on following deeper lines.
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				s = append(s, v)
+			} else {
+				s = append(s, nil)
+			}
+			continue
+		}
+		rest := strings.TrimLeft(l.text[2:], " ")
+		if isMapEntry(rest) {
+			// `- key: value`: the item is a mapping whose first entry sits
+			// on the dash line. Re-enter parseMap with the line rewritten
+			// to the item's virtual indentation (two past the dash).
+			p.lines[p.pos] = yamlLine{num: l.num, indent: indent + 2, text: rest}
+			v, err := p.parseMap(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			s = append(s, v)
+			continue
+		}
+		v, err := parseFlowValue(l, rest)
+		if err != nil {
+			return nil, err
+		}
+		s = append(s, v)
+		p.pos++
+	}
+	return s, nil
+}
+
+// isMapEntry reports whether a sequence item's inline content starts a
+// mapping (`key:` or `key: value`) rather than being a plain scalar.
+func isMapEntry(s string) bool {
+	if strings.HasPrefix(s, "'") || strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "[") {
+		return false
+	}
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return false
+	}
+	return i == len(s)-1 || s[i+1] == ' '
+}
+
+func splitKey(l yamlLine) (key, rest string, err error) {
+	i := strings.Index(l.text, ":")
+	if i <= 0 {
+		return "", "", fmt.Errorf("dsl: yaml line %d: expected `key: value`", l.num)
+	}
+	if i < len(l.text)-1 && l.text[i+1] != ' ' {
+		return "", "", fmt.Errorf("dsl: yaml line %d: `:` must be followed by a space", l.num)
+	}
+	key = strings.TrimSpace(l.text[:i])
+	if strings.HasPrefix(key, "'") || strings.HasPrefix(key, "\"") {
+		k, err := parseScalar(l, key)
+		if err != nil {
+			return "", "", err
+		}
+		ks, ok := k.(string)
+		if !ok {
+			return "", "", fmt.Errorf("dsl: yaml line %d: invalid key %q", l.num, key)
+		}
+		key = ks
+	}
+	return key, strings.TrimSpace(l.text[i+1:]), nil
+}
+
+// parseFlowValue parses an inline value: a flow sequence of scalars or a
+// single scalar.
+func parseFlowValue(l yamlLine, s string) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("dsl: yaml line %d: unterminated flow sequence", l.num)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		out := []any{}
+		if inner == "" {
+			return out, nil
+		}
+		for _, part := range splitFlowItems(inner) {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, fmt.Errorf("dsl: yaml line %d: empty flow sequence element", l.num)
+			}
+			v, err := parseScalar(l, part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("dsl: yaml line %d: flow mappings are not supported", l.num)
+	}
+	return parseScalar(l, s)
+}
+
+// splitFlowItems splits a flow sequence body on commas outside quoted
+// strings; as in stripYAMLComment, quotes only open at token starts.
+func splitFlowItems(s string) []string {
+	var out []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case (c == '\'' || c == '"') && (i == start || tokenStart(s, i)):
+			quote = c
+		case c == ',':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func parseScalar(l yamlLine, s string) (any, error) {
+	if len(s) >= 2 {
+		if q := s[0]; q == '\'' || q == '"' {
+			if s[len(s)-1] != q {
+				return nil, fmt.Errorf("dsl: yaml line %d: unterminated string %s", l.num, s)
+			}
+			body := s[1 : len(s)-1]
+			if q == '\'' {
+				return strings.ReplaceAll(body, "''", "'"), nil
+			}
+			// The double-quoted escapes specs actually use.
+			r := strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n", `\t`, "\t")
+			return r.Replace(body), nil
+		}
+	}
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") {
+		return nil, fmt.Errorf("dsl: yaml line %d: anchors/aliases are not supported", l.num)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

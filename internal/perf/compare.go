@@ -1,0 +1,88 @@
+package perf
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// Regression is one benchmark entry that got worse than the tolerance
+// allows.
+type Regression struct {
+	Name   string  // entry name
+	Metric string  // "wall_seconds" or "alloc_bytes"
+	Old    float64 // reference value
+	New    float64 // measured value
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.3g -> %.3g (%+.0f%%)", r.Name, r.Metric, r.Old, r.New, (r.New/r.Old-1)*100)
+}
+
+// Compare checks a fresh report against a reference: every entry present
+// in both (matched by name, and only when the scenario strings agree —
+// differently-parameterized scenarios are incomparable) must not exceed
+// the reference wall time by more than wallTol nor the reference
+// allocation by more than allocTol (0.35 = +35%). A negative tolerance
+// disables that metric's check — wall time only means something between
+// runs on comparable hardware (allocations are machine-stable), so
+// cross-machine gates like CI pass a loose or negative wallTol. Entries
+// that exist on only one side are skipped: scenarios come and go across
+// PRs, and the gate's job is catching regressions on the ones still
+// shared. Returned regressions are sorted by entry name.
+func Compare(ref, fresh *Report, wallTol, allocTol float64) []Regression {
+	old := map[string]Entry{}
+	for _, e := range ref.Entries {
+		old[e.Name] = e
+	}
+	var regs []Regression
+	for _, e := range fresh.Entries {
+		o, ok := old[e.Name]
+		if !ok || o.Scenario != e.Scenario {
+			continue
+		}
+		if wallTol >= 0 && o.WallSeconds > 0 && e.WallSeconds > o.WallSeconds*(1+wallTol) {
+			regs = append(regs, Regression{e.Name, "wall_seconds", o.WallSeconds, e.WallSeconds})
+		}
+		if allocTol >= 0 && o.AllocBytes > 0 && float64(e.AllocBytes) > float64(o.AllocBytes)*(1+allocTol) {
+			regs = append(regs, Regression{e.Name, "alloc_bytes", float64(o.AllocBytes), float64(e.AllocBytes)})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// NewestRecord returns the path of the newest committed benchmark
+// trajectory (BENCH_<date>.json) in dir, skipping any paths in exclude —
+// typically the record the current run just wrote. The date-stamped
+// names sort chronologically, so "newest" is the lexical maximum.
+func NewestRecord(dir string, exclude ...string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	skip := map[string]bool{}
+	for _, x := range exclude {
+		if abs, err := filepath.Abs(x); err == nil {
+			skip[abs] = true
+		}
+	}
+	best := ""
+	for _, m := range matches {
+		if abs, err := filepath.Abs(m); err == nil && skip[abs] {
+			continue
+		}
+		if filepath.Base(m) > filepath.Base(best) || best == "" {
+			best = m
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("perf: no BENCH_*.json trajectory found in %s", dir)
+	}
+	return best, nil
+}

@@ -1,0 +1,101 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(entries ...Entry) *Report {
+	return &Report{Date: "2026-01-01", Entries: entries}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	ref := report(
+		Entry{Name: "a", Scenario: "s", WallSeconds: 1.0, AllocBytes: 1000},
+		Entry{Name: "b", Scenario: "s", WallSeconds: 2.0, AllocBytes: 500},
+	)
+	fresh := report(
+		Entry{Name: "a", Scenario: "s", WallSeconds: 1.30, AllocBytes: 1400}, // wall ok at 35%, allocs +40%
+		Entry{Name: "b", Scenario: "s", WallSeconds: 2.8, AllocBytes: 500},   // wall +40%
+	)
+	regs := Compare(ref, fresh, 0.35, 0.35)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Name != "a" || regs[0].Metric != "alloc_bytes" {
+		t.Errorf("regs[0] = %v", regs[0])
+	}
+	if regs[1].Name != "b" || regs[1].Metric != "wall_seconds" {
+		t.Errorf("regs[1] = %v", regs[1])
+	}
+	if !strings.Contains(regs[1].String(), "wall_seconds") {
+		t.Errorf("String() uninformative: %s", regs[1])
+	}
+}
+
+func TestCompareWithinToleranceAndImprovements(t *testing.T) {
+	ref := report(Entry{Name: "a", Scenario: "s", WallSeconds: 1.0, AllocBytes: 1000})
+	fresh := report(Entry{Name: "a", Scenario: "s", WallSeconds: 1.34, AllocBytes: 100})
+	if regs := Compare(ref, fresh, 0.35, 0.35); len(regs) != 0 {
+		t.Errorf("within tolerance should pass, got %v", regs)
+	}
+}
+
+func TestCompareSkipsUnmatchedEntries(t *testing.T) {
+	ref := report(
+		Entry{Name: "gone", Scenario: "s", WallSeconds: 0.1, AllocBytes: 1},
+		Entry{Name: "changed", Scenario: "city: 10 gateways", WallSeconds: 0.1, AllocBytes: 1},
+	)
+	fresh := report(
+		Entry{Name: "new", Scenario: "s", WallSeconds: 99, AllocBytes: 1 << 40},
+		Entry{Name: "changed", Scenario: "city: 10000 gateways", WallSeconds: 99, AllocBytes: 1 << 40},
+	)
+	if regs := Compare(ref, fresh, 0.35, 0.35); len(regs) != 0 {
+		t.Errorf("unmatched entries must be skipped, got %v", regs)
+	}
+}
+
+func TestNewestRecord(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-01-05.json", "BENCH_2026-07-29.json", "BENCH_2025-12-31.json", "notabench.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := NewestRecord(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-07-29.json" {
+		t.Errorf("newest = %s", got)
+	}
+	// The record the current run just wrote must be excludable.
+	got, err = NewestRecord(dir, filepath.Join(dir, "BENCH_2026-07-29.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-01-05.json" {
+		t.Errorf("newest with exclusion = %s", got)
+	}
+	if _, err := NewestRecord(t.TempDir()); err == nil {
+		t.Error("empty dir should error")
+	}
+}
+
+func TestCompareSeparateTolerances(t *testing.T) {
+	ref := report(Entry{Name: "a", Scenario: "s", WallSeconds: 1.0, AllocBytes: 1000})
+	fresh := report(Entry{Name: "a", Scenario: "s", WallSeconds: 3.0, AllocBytes: 1300})
+	// Loose wall (cross-machine), tight allocs: +200% wall passes at 4x.
+	if regs := Compare(ref, fresh, 3, 0.35); len(regs) != 0 {
+		t.Errorf("loose wall tolerance should pass, got %v", regs)
+	}
+	// Negative tolerance disables a metric entirely.
+	if regs := Compare(ref, fresh, -1, 0.35); len(regs) != 0 {
+		t.Errorf("disabled wall check should pass, got %v", regs)
+	}
+	if regs := Compare(ref, fresh, -1, 0.1); len(regs) != 1 || regs[0].Metric != "alloc_bytes" {
+		t.Errorf("alloc check should still fire: %v", regs)
+	}
+}

@@ -50,7 +50,15 @@ type Runner struct {
 // Run executes every job and returns outcomes in job order. Errors don't
 // stop the campaign: each failed job carries its own Err and the rest
 // still run (use FirstErr to fail fast afterwards).
-func (r Runner) Run(jobs []Job) []Outcome {
+func (r Runner) Run(jobs []Job) []Outcome { return r.RunStream(jobs, nil) }
+
+// RunStream is Run with incremental delivery: emit (when non-nil) is
+// called on the caller's goroutine once per job, in job order, as soon as
+// every earlier job has also completed. Callers use it to checkpoint a
+// campaign while it runs — since delivery is a growing prefix of the job
+// list, whatever emit persisted before an interruption is exactly a
+// prefix, which is what makes resume trivial for the campaign layer.
+func (r Runner) RunStream(jobs []Job, emit func(i int, o Outcome)) []Outcome {
 	out := make([]Outcome, len(jobs))
 	if len(jobs) == 0 {
 		return out
@@ -63,6 +71,7 @@ func (r Runner) Run(jobs []Job) []Outcome {
 		workers = len(jobs)
 	}
 	next := make(chan int)
+	done := make(chan int, len(jobs))
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -74,15 +83,30 @@ func (r Runner) Run(jobs []Job) []Outcome {
 					err = fmt.Errorf("runner: job %q: %w", jobs[i].Name, err)
 				}
 				// Each worker writes only its own index: ordered collection
-				// with no post-hoc sorting and no shared accumulator.
+				// with no post-hoc sorting and no shared accumulator. The
+				// send on done publishes the write to the collector.
 				out[i] = Outcome{Job: jobs[i], Result: res, Err: err}
+				done <- i
 			}
 		}()
 	}
-	for i := range jobs {
-		next <- i
+	go func() {
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+	}()
+	completed := make([]bool, len(jobs))
+	cursor := 0
+	for n := 0; n < len(jobs); n++ {
+		completed[<-done] = true
+		for cursor < len(jobs) && completed[cursor] {
+			if emit != nil {
+				emit(cursor, out[cursor])
+			}
+			cursor++
+		}
 	}
-	close(next)
 	wg.Wait()
 	return out
 }

@@ -151,3 +151,37 @@ func TestSeedJobsShareFixtures(t *testing.T) {
 		t.Error("seed sweep produced identical energy for different seeds")
 	}
 }
+
+func TestRunStreamDeliversInJobOrder(t *testing.T) {
+	tr, tp := scenario(t, 33)
+	var jobs []Job
+	for _, sc := range []sim.Scheme{sim.NoSleep, sim.SoI, sim.SoIKSwitch, sim.BH2KSwitch, sim.SoI, sim.NoSleep} {
+		jobs = append(jobs, Job{Name: sc.String(), Config: sim.Config{Trace: tr, Topo: tp, Scheme: sc, Seed: 33, K: 2}})
+	}
+	var emitted []int
+	outs := (Runner{Workers: 4}).RunStream(jobs, func(i int, o Outcome) {
+		if o.Err != nil {
+			t.Errorf("job %d failed: %v", i, o.Err)
+		}
+		if o.Job.Name != jobs[i].Name {
+			t.Errorf("emit %d carries job %q, want %q", i, o.Job.Name, jobs[i].Name)
+		}
+		emitted = append(emitted, i)
+	})
+	if err := FirstErr(outs); err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != len(jobs) {
+		t.Fatalf("emitted %d outcomes, want %d", len(emitted), len(jobs))
+	}
+	for i, e := range emitted {
+		if e != i {
+			t.Fatalf("emit order %v is not job order", emitted)
+		}
+	}
+	// Streamed outcomes match a plain serial run.
+	serial := (Runner{Workers: 1}).Run(jobs)
+	for i := range jobs {
+		sameResult(t, jobs[i].Name, serial[i].Result, outs[i].Result)
+	}
+}

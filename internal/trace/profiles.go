@@ -1,0 +1,75 @@
+package trace
+
+// Derived workload profiles beyond the paper's two measured curves
+// (OfficeProfile, ResidentialProfile). These are the building blocks the
+// scenario spec layer (internal/dsl, internal/campaign) exposes, so new
+// city-scale workloads are declared in a config file instead of a new main:
+//
+//   - WeekendProfile: the residential curve without the commute dip;
+//   - FlashCrowd: a localized surge on top of any base curve (a broadcast
+//     event, a storm warning) — the stress case for wake-up scheduling;
+//   - Mix: weekday/weekend blending for multi-day averaged campaigns;
+//   - Config.WithChurn: shorter terminal sessions at the same online
+//     fraction, i.e. many more sleep/wake transitions per gateway.
+
+// WeekendProfile is a residential weekend day: no morning-commute dip,
+// a late start, a broad midday plateau and the same 21-22 h evening peak
+// as ResidentialProfile, with a slightly fuller afternoon.
+var WeekendProfile = Profile{
+	0.220, 0.150, 0.100, 0.065, 0.050, 0.050, // 0-5 h: later nights
+	0.055, 0.070, 0.110, 0.180, 0.260, 0.330, // 6-11 h: slow start
+	0.380, 0.400, 0.400, 0.390, 0.380, 0.400, // 12-17 h: plateau
+	0.430, 0.470, 0.510, 0.540, 0.500, 0.360, // 18-23 h: evening peak
+}
+
+// FlashCrowd returns base with the online fraction scaled by `scale` inside
+// the window [startHour, startHour+hours) (wrapping at midnight) — a flash
+// crowd (live broadcast, emergency) concentrated in a few hours. Hour
+// points whose center falls in the window are scaled; values clamp to 1.
+// scale < 1 models the inverse (a blackout window).
+func FlashCrowd(base Profile, startHour, hours, scale float64) Profile {
+	out := base
+	for h := 0; h < 24; h++ {
+		d := float64(h) - startHour
+		for d < 0 {
+			d += 24
+		}
+		if d < hours {
+			v := base[h] * scale
+			if v > 1 {
+				v = 1
+			}
+			out[h] = v
+		}
+	}
+	return out
+}
+
+// Mix blends two profiles point-wise: (1-frac)*a + frac*b. With a weekday
+// curve for a and WeekendProfile for b, frac = 2.0/7 yields the average
+// day of a full week — the diurnal mix a long-running campaign sees.
+func Mix(a, b Profile, frac float64) Profile {
+	var out Profile
+	for h := 0; h < 24; h++ {
+		out[h] = a[h]*(1-frac) + b[h]*frac
+	}
+	return out
+}
+
+// WithChurn shortens terminal sessions by the given factor (> 1) while the
+// profile keeps the stationary online fraction unchanged: the same number
+// of client-hours arrives as factor× more, factor× shorter sessions. More
+// session churn means more gateway idle/wake transitions — the workload
+// that separates schemes on wake-up cost rather than steady-state power.
+// Factors in (0, 1) lengthen sessions instead; non-positive factors are
+// ignored.
+func (c Config) WithChurn(factor float64) Config {
+	if factor <= 0 {
+		return c
+	}
+	if c.SessionMeanSec == 0 {
+		c.SessionMeanSec = defSessionMean
+	}
+	c.SessionMeanSec /= factor
+	return c
+}
