@@ -6,12 +6,18 @@
 //     workload as BenchmarkSchemeComparisonSerial in bench_test.go);
 //   - the city scenario: a 10k-gateway / 100k-client residential metro
 //     (trace.DefaultCityConfig over topology.GridCity), duration-bounded so
-//     a trajectory point costs minutes, not hours.
+//     a trajectory point costs minutes, not hours — each scheme measured
+//     serially and again on the sharded engine (-shards lanes; identical
+//     results, so the pair reads as a speedup measurement);
+//   - optionally (-xl) the million-client metro: 100k gateways / 1M
+//     clients on the sharded engine, the scale target the sharding work
+//     exists for.
 //
 // Usage:
 //
-//	bench [-out BENCH_2026-07-29.json] [-seed 2]
+//	bench [-out BENCH_2026-07-29.json] [-seed 2] [-shards NumCPU]
 //	      [-city=true] [-city-gateways 10000] [-city-clients 100000] [-city-duration 1800]
+//	      [-xl] [-xl-gateways 100000] [-xl-clients 1000000] [-xl-duration 600]
 //	      [-comparison=true] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	      [-against auto|off|FILE] [-gate-tol 0.35] [-gate-wall-tol 3]
 //
@@ -30,6 +36,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"insomnia/internal/cli"
@@ -51,6 +58,11 @@ func main() {
 	cityGWs := flag.Int("city-gateways", 10000, "city gateways")
 	cityClients := flag.Int("city-clients", 100000, "city terminal devices")
 	cityDur := flag.Float64("city-duration", 1800, "simulated seconds for the city runs")
+	shards := flag.Int("shards", runtime.NumCPU(), "engine shards for the city-sharded entries (results identical at every value)")
+	xl := flag.Bool("xl", false, "also run the million-client metro on the sharded engine")
+	xlGWs := flag.Int("xl-gateways", 100000, "xl metro gateways")
+	xlClients := flag.Int("xl-clients", 1000000, "xl metro terminal devices")
+	xlDur := flag.Float64("xl-duration", 600, "simulated seconds for the xl run")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	against := flag.String("against", "off", `regression gate reference: "off", "auto" (newest committed BENCH_*.json) or a file`)
@@ -80,7 +92,12 @@ func main() {
 			}
 		}
 		if *city {
-			if err := benchCity(rep, *seed, *cityGWs, *cityClients, *cityDur); err != nil {
+			if err := benchCity(rep, *seed, *cityGWs, *cityClients, *cityDur, *shards); err != nil {
+				return err
+			}
+		}
+		if *xl {
+			if err := benchXL(rep, *seed, *xlGWs, *xlClients, *xlDur, *shards); err != nil {
 				return err
 			}
 		}
@@ -122,9 +139,16 @@ func gate(fresh *perf.Report, against, selfPath string, wallTol, allocTol float6
 	if err != nil {
 		return err
 	}
-	regs := perf.Compare(ref, fresh, wallTol, allocTol)
+	regs, skipped := perf.Compare(ref, fresh, wallTol, allocTol)
+	// An unmatched entry is not a pass — it is coverage the gate lost
+	// (renamed scenario, re-parameterized run, dropped measurement). Warn
+	// loudly so a rename cannot silently retire a regression check.
+	for _, s := range skipped {
+		log.Printf("WARNING: gate skipped %s", s)
+	}
 	if len(regs) == 0 {
-		log.Printf("regression gate ok vs %s (wall tol %.0f%%, alloc tol %.0f%%)", refPath, wallTol*100, allocTol*100)
+		log.Printf("regression gate ok vs %s (wall tol %.0f%%, alloc tol %.0f%%, %d entr(ies) skipped)",
+			refPath, wallTol*100, allocTol*100, len(skipped))
 		return nil
 	}
 	for _, r := range regs {
@@ -168,16 +192,14 @@ func benchComparison(rep *perf.Report, seed int64) error {
 	})
 }
 
-// benchCity runs the city scenario: trace generation is measured as its own
-// entry, then NoSleep (baseline), SoI and BH2 each get a trajectory point.
-func benchCity(rep *perf.Report, seed int64, gws, clients int, duration float64) error {
+// cityFixture generates the metro workload and topology, measuring trace
+// generation as its own trajectory entry under the given name.
+func cityFixture(rep *perf.Report, name, scenario string, seed int64, gws, clients int, duration float64) (*trace.Trace, *topology.Topology, dsl.DSLAM, error) {
 	cfg := trace.DefaultCityConfig(seed)
 	cfg.APs, cfg.Clients, cfg.Duration = gws, clients, duration
-	scenario := fmt.Sprintf("city: %d clients / %d gateways / %.0fs, seed %d",
-		clients, gws, duration, seed)
 
 	var tr *trace.Trace
-	err := rep.Measure("city-trace-gen", scenario, func() (map[string]float64, error) {
+	err := rep.Measure(name, scenario, func() (map[string]float64, error) {
 		var err error
 		tr, err = trace.Generate(cfg)
 		if err != nil {
@@ -189,15 +211,15 @@ func benchCity(rep *perf.Report, seed int64, gws, clients int, duration float64)
 		}, nil
 	})
 	if err != nil {
-		return err
+		return nil, nil, dsl.DSLAM{}, err
 	}
 	g, err := topology.GridCity(gws, topology.DefaultMeanInRange, seed)
 	if err != nil {
-		return err
+		return nil, nil, dsl.DSLAM{}, err
 	}
 	tp, err := topology.FromOverlap(g, tr.ClientAP)
 	if err != nil {
-		return err
+		return nil, nil, dsl.DSLAM{}, err
 	}
 	// A metro head-end: enough 48-port cards for every gateway, card count
 	// rounded to the k-switch group size.
@@ -205,35 +227,85 @@ func benchCity(rep *perf.Report, seed int64, gws, clients int, duration float64)
 	if r := cards % 4; r != 0 {
 		cards += 4 - r
 	}
-	shelf := dsl.DSLAM{Cards: cards, PortsPerCard: 48}
+	return tr, tp, dsl.DSLAM{Cards: cards, PortsPerCard: 48}, nil
+}
+
+// benchCity runs the city scenario: trace generation is measured as its own
+// entry, then NoSleep (baseline), SoI and BH2 each get a serial trajectory
+// point and a sharded one ("city-sharded-*", shards lanes). Serial and
+// sharded results are byte-identical, so each pair is a pure speedup
+// measurement; the recorded shards/gomaxprocs metrics say whether the
+// machine could actually exploit the lanes.
+func benchCity(rep *perf.Report, seed int64, gws, clients int, duration float64, shards int) error {
+	scenario := fmt.Sprintf("city: %d clients / %d gateways / %.0fs, seed %d",
+		clients, gws, duration, seed)
+	tr, tp, shelf, err := cityFixture(rep, "city-trace-gen", scenario, seed, gws, clients, duration)
+	if err != nil {
+		return err
+	}
 
 	var base *sim.Result
-	for _, sc := range []sim.Scheme{sim.NoSleep, sim.SoI, sim.BH2KSwitch} {
-		sc := sc
-		err := rep.Measure("city-"+sc.String(), scenario, func() (map[string]float64, error) {
-			res, err := sim.Run(sim.Config{
-				Trace: tr, Topo: tp, Scheme: sc, Seed: seed, DSLAM: shelf, K: 4,
+	for _, v := range []struct {
+		prefix string
+		shards int
+	}{
+		{"city-", 0},
+		{"city-sharded-", shards},
+	} {
+		for _, sc := range []sim.Scheme{sim.NoSleep, sim.SoI, sim.BH2KSwitch} {
+			sc := sc
+			err := rep.Measure(v.prefix+sc.String(), scenario, func() (map[string]float64, error) {
+				res, err := sim.Run(sim.Config{
+					Trace: tr, Topo: tp, Scheme: sc, Seed: seed, DSLAM: shelf, K: 4,
+					Shards: v.shards,
+				})
+				if err != nil {
+					return nil, err
+				}
+				m := perf.Parallelism(map[string]float64{
+					"wakeups":         float64(res.Wakeups),
+					"mean_online_gws": sim.MeanOver(res.OnlineGWs, 0, duration/3600),
+				}, max(v.shards, 1))
+				if sc == sim.NoSleep {
+					if base == nil {
+						base = res
+					}
+				} else if base != nil {
+					m["savings"] = res.SavingsVs(base)
+				}
+				if res.Moves > 0 {
+					m["moves"] = float64(res.Moves)
+				}
+				return m, nil
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			m := map[string]float64{
-				"wakeups":         float64(res.Wakeups),
-				"mean_online_gws": sim.MeanOver(res.OnlineGWs, 0, duration/3600),
-			}
-			if sc == sim.NoSleep {
-				base = res
-			} else if base != nil {
-				m["savings"] = res.SavingsVs(base)
-			}
-			if res.Moves > 0 {
-				m["moves"] = float64(res.Moves)
-			}
-			return m, nil
-		})
-		if err != nil {
-			return err
 		}
 	}
 	return nil
+}
+
+// benchXL runs the million-client metro once, on the sharded engine only —
+// the serial run at this scale is the thing the sharding work retires.
+func benchXL(rep *perf.Report, seed int64, gws, clients int, duration float64, shards int) error {
+	scenario := fmt.Sprintf("xl-metro: %d clients / %d gateways / %.0fs, seed %d",
+		clients, gws, duration, seed)
+	tr, tp, shelf, err := cityFixture(rep, "xl-trace-gen", scenario, seed, gws, clients, duration)
+	if err != nil {
+		return err
+	}
+	return rep.Measure("xl-sharded-"+sim.SoI.String(), scenario, func() (map[string]float64, error) {
+		res, err := sim.Run(sim.Config{
+			Trace: tr, Topo: tp, Scheme: sim.SoI, Seed: seed, DSLAM: shelf, K: 4,
+			Shards: shards,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return perf.Parallelism(map[string]float64{
+			"wakeups":         float64(res.Wakeups),
+			"mean_online_gws": sim.MeanOver(res.OnlineGWs, 0, duration/3600),
+		}, max(shards, 1)), nil
+	})
 }

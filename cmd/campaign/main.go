@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	campaign run spec.yaml [-workers N] [-out dir] [-resume] [-q]
+//	campaign run spec.yaml [-workers N] [-shards N] [-out dir] [-resume] [-q]
 //	campaign check spec.yaml
 //
 // `run` executes the campaign. Progress is checkpointed to
@@ -29,7 +29,7 @@ import (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  campaign run spec.yaml [-workers N] [-out dir] [-resume] [-q]
+  campaign run spec.yaml [-workers N] [-shards N] [-out dir] [-resume] [-q]
   campaign check spec.yaml
 
 commands:
@@ -114,6 +114,7 @@ func loadPlan(path string) *campaign.Plan {
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "engine shards per simulation (0 = spec's shards key, else auto; results identical at every value)")
 	out := fs.String("out", "campaign-out", "output directory (manifest + artifacts)")
 	resume := fs.Bool("resume", false, "continue an interrupted campaign in -out")
 	quiet := fs.Bool("q", false, "suppress per-cell progress")
@@ -125,7 +126,7 @@ func cmdRun(args []string) {
 		logf = func(string, ...any) {}
 	}
 	res, err := plan.Run(campaign.Options{
-		Workers: *workers, OutDir: *out, Resume: *resume, Logf: logf,
+		Workers: *workers, Shards: *shards, OutDir: *out, Resume: *resume, Logf: logf,
 	})
 	if err != nil {
 		log.Fatal(err)

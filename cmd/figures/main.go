@@ -34,6 +34,7 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate")
 	liveScale := flag.Float64("livescale", 0.005, "testbed wall-seconds per virtual second (fig 12)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "engine shards per simulation (0 = serial engine; results identical at every value)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Parse()
@@ -60,7 +61,7 @@ func main() {
 	if needDay {
 		log.Printf("running day simulations (%d run(s), 8 schemes; the Optimal ILP dominates runtime)...", *runs)
 		var err error
-		day, err = averagedDayRuns(*seed, *runs, *workers)
+		day, err = averagedDayRuns(*seed, *runs, *workers, *shards)
 		check(err)
 	}
 
@@ -183,13 +184,14 @@ func main() {
 // keep the first (figures are per-run like the paper's averaged plots, and
 // additional runs are summarized on stdout for variance inspection). Each
 // seed's 8 schemes fan out over the worker pool.
-func averagedDayRuns(seed int64, runs, workers int) (*figures.DayRuns, error) {
+func averagedDayRuns(seed int64, runs, workers, shards int) (*figures.DayRuns, error) {
 	var first *figures.DayRuns
 	for i := 0; i < runs; i++ {
 		sc, err := figures.NewScenario(seed + int64(i))
 		if err != nil {
 			return nil, err
 		}
+		sc.Shards = shards
 		day, err := figures.RunDayWorkers(sc, nil, workers)
 		if err != nil {
 			return nil, err

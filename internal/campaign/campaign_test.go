@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -155,6 +156,44 @@ func TestArtifactsDeterministicAcrossWorkers(t *testing.T) {
 	for _, row := range strings.Split(strings.TrimSpace(fa["summary.csv"]), "\n")[1:] {
 		if strings.Count(row, ",") < 12-1 {
 			t.Errorf("short summary row: %q", row)
+		}
+	}
+}
+
+// TestArtifactsDeterministicAcrossShards runs the same campaign with the
+// serial engine and with every simulation sharded; the sharded engine is
+// byte-identical per run, so every artifact must match.
+func TestArtifactsDeterministicAcrossShards(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compileTestPlan(t).Run(Options{Workers: 2, Shards: 3, OutDir: b}); err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := readArtifacts(t, a), readArtifacts(t, b)
+	for name := range fa {
+		if fa[name] != fb[name] {
+			t.Errorf("%s differs between serial and sharded engines", name)
+		}
+	}
+}
+
+func TestEngineShards(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		override, spec, workers, cells, want int
+	}{
+		{5, 2, 0, 100, 5},                         // CLI override wins
+		{0, 2, 0, 100, 2},                         // then the spec's shards key
+		{0, 0, maxprocs, 100, 1},                  // auto: saturated pool -> serial sims
+		{0, 0, 1, 100, max(1, maxprocs)},          // auto: serial pool -> shard over all cores
+		{0, 0, maxprocs * 2, 1, max(1, maxprocs)}, // auto: one cell -> all cores
+	}
+	for _, tc := range cases {
+		if got := engineShards(tc.override, tc.spec, tc.workers, tc.cells); got != tc.want {
+			t.Errorf("engineShards(%d, %d, %d, %d) = %d, want %d",
+				tc.override, tc.spec, tc.workers, tc.cells, got, tc.want)
 		}
 	}
 }

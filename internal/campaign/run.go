@@ -24,6 +24,12 @@ const ManifestName = "manifest.jsonl"
 type Options struct {
 	// Workers caps concurrent simulations; <=0 means GOMAXPROCS.
 	Workers int
+	// Shards overrides the engine shard count of every simulation
+	// (sim.Config.Shards); 0 defers to the spec's shards key, and when
+	// that is auto too the campaign shards each simulation over the cores
+	// the worker pool leaves idle (see engineShards). Results are
+	// byte-identical at every value.
+	Shards int
 	// OutDir receives the manifest and artifacts. Required.
 	OutDir string
 	// Resume skips cells already recorded in OutDir's manifest (from an
@@ -182,10 +188,9 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 	jobs := make([]runner.Job, len(pending))
 	for i, c := range pending {
 		v := p.variants[c.variant].spec
-		jobs[i] = runner.Job{
-			Name:   c.Key(),
-			Config: simConfig(v, fixtures[groupKey{c.variant, c.Seed}], c),
-		}
+		cfg := simConfig(v, fixtures[groupKey{c.variant, c.Seed}], c)
+		cfg.Shards = engineShards(opts.Shards, v.Shards, opts.Workers, len(pending))
+		jobs[i] = runner.Job{Name: c.Key(), Config: cfg}
 	}
 	withPower := p.Spec.HasOutput("power")
 	enc := json.NewEncoder(mf)
@@ -214,6 +219,30 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 		return fmt.Errorf("campaign: checkpoint: %w", emitErr)
 	}
 	return mf.Sync()
+}
+
+// engineShards resolves one simulation's engine shard count: an explicit
+// run-time override wins, then the spec's shards key; when both are auto
+// the campaign gives each simulation only the cores its worker pool
+// leaves idle — with enough cells, cell-level parallelism already
+// saturates the machine and intra-sim sharding would just oversubscribe.
+func engineShards(override, spec, workers, cells int) int {
+	if override > 0 {
+		return override
+	}
+	if spec > 0 {
+		return spec
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cells > 0 && cells < workers {
+		workers = cells
+	}
+	if per := runtime.GOMAXPROCS(0) / workers; per >= 2 {
+		return per
+	}
+	return 1
 }
 
 // genWorkers bounds fixture-generation concurrency like the runner

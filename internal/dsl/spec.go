@@ -69,6 +69,12 @@ type Spec struct {
 	IdleTimeout float64 `json:"idle_timeout,omitempty"`
 	// K is the k-switch group size for *k-switch schemes. Default 4.
 	K int `json:"k,omitempty"`
+	// Shards is the engine shard count per simulation (sim.Config.Shards).
+	// 0 (the default) lets the campaign choose: cells saturate the worker
+	// pool first, and each simulation shards over whatever cores the pool
+	// leaves idle. Results are byte-identical at every value, so the key
+	// trades wall-clock only, never fidelity.
+	Shards int `json:"shards,omitempty"`
 
 	Trace    TraceSpec `json:"trace"`
 	Topology TopoSpec  `json:"topology,omitempty"`
@@ -175,6 +181,9 @@ func (s Spec) WithDefaults() (Spec, error) {
 	}
 	if s.K == 0 {
 		s.K = 4
+	}
+	if s.Shards < 0 {
+		return s, fmt.Errorf("dsl: negative shards %d", s.Shards)
 	}
 
 	if err := s.Trace.normalize(); err != nil {

@@ -12,6 +12,7 @@ schemes: [no-sleep, SoI, BH2+k-switch]
 seeds: [1, 2]
 duration: 7200
 k: 2
+shards: 3
 idle_timeout: 30
 trace:
   profile: flash-crowd
@@ -45,7 +46,7 @@ func TestParseSpecYAML(t *testing.T) {
 	if len(s.Seeds) != 2 || s.Seeds[1] != 2 {
 		t.Errorf("seeds parsed wrong: %v", s.Seeds)
 	}
-	if s.Duration != 7200 || s.K != 2 || s.IdleTimeout != 30 {
+	if s.Duration != 7200 || s.K != 2 || s.IdleTimeout != 30 || s.Shards != 3 {
 		t.Errorf("scalars parsed wrong: %+v", s)
 	}
 	if s.Trace.Profile != "flash-crowd" || s.Trace.Clients != 120 || *s.Trace.FlashScale != 3 {
@@ -202,6 +203,7 @@ func TestSpecErrorPaths(t *testing.T) {
 		{"negative duration", errSpec(func(s *Spec) { s.Duration = -3600 }), "negative duration"},
 		{"negative idle timeout", errSpec(func(s *Spec) { s.IdleTimeout = -1 }), "negative idle_timeout"},
 		{"negative k", errSpec(func(s *Spec) { s.K = -2 }), "negative k"},
+		{"negative shards", errSpec(func(s *Spec) { s.Shards = -1 }), "negative shards"},
 		{"unknown profile", errSpec(func(s *Spec) { s.Trace.Profile = "weekend" }), "unknown trace profile"},
 		{"missing profile", errSpec(func(s *Spec) { s.Trace.Profile = "" }), "needs a profile"},
 		{"no clients", errSpec(func(s *Spec) { s.Trace.Clients = 0 }), "positive clients"},

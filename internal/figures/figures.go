@@ -35,6 +35,10 @@ type Scenario struct {
 	Trace *trace.Trace
 	Topo  *topology.Topology
 	Seed  int64
+	// Shards is the engine shard count every run of this scenario uses
+	// (sim.Config.Shards); results are byte-identical at every value, so
+	// it only matters when the worker pool leaves cores idle.
+	Shards int
 }
 
 // NewScenario builds the evaluation scenario: a UCSD-like day trace with
@@ -84,7 +88,7 @@ func RunDayWorkers(sc *Scenario, schemes []sim.Scheme, workers int) (*DayRuns, e
 	if schemes == nil {
 		schemes = DefaultSchemes
 	}
-	base := sim.Config{Trace: sc.Trace, Topo: sc.Topo, Seed: sc.Seed}
+	base := sim.Config{Trace: sc.Trace, Topo: sc.Topo, Seed: sc.Seed, Shards: sc.Shards}
 	jobs := runner.SchemeJobs(base, schemes)
 	// Figs 6, 8 and the headline always need the no-sleep baseline.
 	if !slices.Contains(schemes, sim.NoSleep) {

@@ -26,19 +26,29 @@ func (r Regression) String() string {
 // allocation by more than allocTol (0.35 = +35%). A negative tolerance
 // disables that metric's check — wall time only means something between
 // runs on comparable hardware (allocations are machine-stable), so
-// cross-machine gates like CI pass a loose or negative wallTol. Entries
-// that exist on only one side are skipped: scenarios come and go across
-// PRs, and the gate's job is catching regressions on the ones still
-// shared. Returned regressions are sorted by entry name.
-func Compare(ref, fresh *Report, wallTol, allocTol float64) []Regression {
+// cross-machine gates like CI pass a loose or negative wallTol.
+//
+// Entries that exist on only one side, or whose scenario string changed,
+// are excluded from the checks — scenarios come and go across PRs — but
+// they are returned in skipped (one annotated name per exclusion, sorted)
+// so a gate can warn instead of silently shrinking its coverage: a renamed
+// entry or a re-parameterized scenario looks exactly like a pass
+// otherwise. Returned regressions are sorted by entry name.
+func Compare(ref, fresh *Report, wallTol, allocTol float64) (regs []Regression, skipped []string) {
 	old := map[string]Entry{}
 	for _, e := range ref.Entries {
 		old[e.Name] = e
 	}
-	var regs []Regression
+	matched := map[string]bool{}
 	for _, e := range fresh.Entries {
 		o, ok := old[e.Name]
-		if !ok || o.Scenario != e.Scenario {
+		if !ok {
+			skipped = append(skipped, e.Name+" (not in reference)")
+			continue
+		}
+		matched[e.Name] = true
+		if o.Scenario != e.Scenario {
+			skipped = append(skipped, e.Name+" (scenario changed)")
 			continue
 		}
 		if wallTol >= 0 && o.WallSeconds > 0 && e.WallSeconds > o.WallSeconds*(1+wallTol) {
@@ -48,13 +58,19 @@ func Compare(ref, fresh *Report, wallTol, allocTol float64) []Regression {
 			regs = append(regs, Regression{e.Name, "alloc_bytes", float64(o.AllocBytes), float64(e.AllocBytes)})
 		}
 	}
+	for _, e := range ref.Entries {
+		if !matched[e.Name] {
+			skipped = append(skipped, e.Name+" (missing from fresh report)")
+		}
+	}
 	sort.Slice(regs, func(i, j int) bool {
 		if regs[i].Name != regs[j].Name {
 			return regs[i].Name < regs[j].Name
 		}
 		return regs[i].Metric < regs[j].Metric
 	})
-	return regs
+	sort.Strings(skipped)
+	return regs, skipped
 }
 
 // NewestRecord returns the path of the newest committed benchmark

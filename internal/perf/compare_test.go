@@ -3,6 +3,7 @@ package perf
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,10 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		Entry{Name: "a", Scenario: "s", WallSeconds: 1.30, AllocBytes: 1400}, // wall ok at 35%, allocs +40%
 		Entry{Name: "b", Scenario: "s", WallSeconds: 2.8, AllocBytes: 500},   // wall +40%
 	)
-	regs := Compare(ref, fresh, 0.35, 0.35)
+	regs, skipped := Compare(ref, fresh, 0.35, 0.35)
+	if len(skipped) != 0 {
+		t.Errorf("fully matched reports should skip nothing, got %v", skipped)
+	}
 	if len(regs) != 2 {
 		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
 	}
@@ -38,7 +42,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 func TestCompareWithinToleranceAndImprovements(t *testing.T) {
 	ref := report(Entry{Name: "a", Scenario: "s", WallSeconds: 1.0, AllocBytes: 1000})
 	fresh := report(Entry{Name: "a", Scenario: "s", WallSeconds: 1.34, AllocBytes: 100})
-	if regs := Compare(ref, fresh, 0.35, 0.35); len(regs) != 0 {
+	if regs, _ := Compare(ref, fresh, 0.35, 0.35); len(regs) != 0 {
 		t.Errorf("within tolerance should pass, got %v", regs)
 	}
 }
@@ -52,8 +56,17 @@ func TestCompareSkipsUnmatchedEntries(t *testing.T) {
 		Entry{Name: "new", Scenario: "s", WallSeconds: 99, AllocBytes: 1 << 40},
 		Entry{Name: "changed", Scenario: "city: 10000 gateways", WallSeconds: 99, AllocBytes: 1 << 40},
 	)
-	if regs := Compare(ref, fresh, 0.35, 0.35); len(regs) != 0 {
+	regs, skipped := Compare(ref, fresh, 0.35, 0.35)
+	if len(regs) != 0 {
 		t.Errorf("unmatched entries must be skipped, got %v", regs)
+	}
+	want := []string{
+		"changed (scenario changed)",
+		"gone (missing from fresh report)",
+		"new (not in reference)",
+	}
+	if !reflect.DeepEqual(skipped, want) {
+		t.Errorf("skipped = %v, want %v", skipped, want)
 	}
 }
 
@@ -88,14 +101,14 @@ func TestCompareSeparateTolerances(t *testing.T) {
 	ref := report(Entry{Name: "a", Scenario: "s", WallSeconds: 1.0, AllocBytes: 1000})
 	fresh := report(Entry{Name: "a", Scenario: "s", WallSeconds: 3.0, AllocBytes: 1300})
 	// Loose wall (cross-machine), tight allocs: +200% wall passes at 4x.
-	if regs := Compare(ref, fresh, 3, 0.35); len(regs) != 0 {
+	if regs, _ := Compare(ref, fresh, 3, 0.35); len(regs) != 0 {
 		t.Errorf("loose wall tolerance should pass, got %v", regs)
 	}
 	// Negative tolerance disables a metric entirely.
-	if regs := Compare(ref, fresh, -1, 0.35); len(regs) != 0 {
+	if regs, _ := Compare(ref, fresh, -1, 0.35); len(regs) != 0 {
 		t.Errorf("disabled wall check should pass, got %v", regs)
 	}
-	if regs := Compare(ref, fresh, -1, 0.1); len(regs) != 1 || regs[0].Metric != "alloc_bytes" {
+	if regs, _ := Compare(ref, fresh, -1, 0.1); len(regs) != 1 || regs[0].Metric != "alloc_bytes" {
 		t.Errorf("alloc check should still fire: %v", regs)
 	}
 }

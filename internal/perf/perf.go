@@ -49,6 +49,22 @@ func NewReport(date string) *Report {
 	}
 }
 
+// Parallelism annotates an entry's metrics with the execution-width
+// context needed to interpret a trajectory point later: the engine shard
+// count the scenario ran with and GOMAXPROCS at measure time. A sharded
+// entry recorded on a one-core machine (shards > gomaxprocs) shows no
+// speedup by construction; recording both makes that readable from the
+// committed trajectory instead of folklore. Returns m for call-site
+// chaining; a nil m is allocated.
+func Parallelism(m map[string]float64, shards int) map[string]float64 {
+	if m == nil {
+		m = make(map[string]float64, 2)
+	}
+	m["shards"] = float64(shards)
+	m["gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
+	return m
+}
+
 // Measure times fn and appends an Entry; fn returns the scenario metrics to
 // record. Wall time and allocation are measured around the call.
 func (r *Report) Measure(name, scenario string, fn func() (map[string]float64, error)) error {

@@ -6,6 +6,10 @@ package sim
 // the metric series. Everything scheme-specific — routing, decisions,
 // re-solves, switch fabric — is delegated to the sim's strategy (scheme.go
 // and the scheme_*.go files).
+//
+// Every function here operates on a lane (*shard): the single serial lane
+// in ordinary runs, a gateway shard's own lane under the sharded engine
+// (shard.go). Strategy code always executes on the main lane.
 
 import (
 	"math"
@@ -18,65 +22,114 @@ import (
 
 // run drives the merged event streams to the end of the trace.
 func (s *sim) run() {
+	if len(s.shards) > 1 {
+		s.runSharded()
+		return
+	}
+	if s.pool != nil {
+		// modeTick: serial event loop, parallel tick prep.
+		s.pool.start()
+		defer s.pool.stop()
+	}
 	for s.step() {
 	}
 	s.now = s.end
 }
 
-// step advances the simulation by one event — the next dynamic heap event
-// or trace record, whichever is earlier (heap wins ties, then flows, then
-// keepalives). It returns false once the streams are exhausted or past the
-// trace end.
-func (s *sim) step() bool {
+// step advances the serial lane by one event.
+func (s *sim) step() bool { return s.stepLane(s.main, math.Inf(1)) }
+
+// stepLane advances lane sh by one event — the next dynamic heap event or
+// trace record, whichever is earlier (heap wins ties, then flows, then
+// keepalives). It returns false once the lane's streams are exhausted, past
+// the trace end, or stopped by the fence.
+//
+// The fence reproduces the serial heap's (t, seq) tie order against the
+// coordinator event exactly: trace records at the fence time always lose
+// (the serial merge admits records only on strictly smaller times), and a
+// heap event at the fence time wins iff it was pushed before this phase
+// began (seq <= fenceSeq) — the coordinator event's own push precedes
+// every event pushed during the phase, so lane-local seq comparison
+// recovers the global order without a global counter.
+func (s *sim) stepLane(sh *shard, fence float64) bool {
 	tr := s.cfg.Trace
 	tNext := math.Inf(1)
 	src := -1 // 0=heap 1=flow 2=keepalive
-	if s.h.len() > 0 {
-		tNext, src = s.h.ev[0].t, 0
+	if sh.h.len() > 0 {
+		if e := &sh.h.ev[0]; e.t < fence || (e.t == fence && e.seq <= sh.fenceSeq) {
+			tNext, src = e.t, 0
+		}
 	}
-	if s.flowIdx < len(tr.Flows) && tr.Flows[s.flowIdx].Start < tNext {
-		tNext, src = tr.Flows[s.flowIdx].Start, 1
+	if sh.flowOrder == nil {
+		if sh.flowIdx < len(tr.Flows) {
+			if ft := tr.Flows[sh.flowIdx].Start; ft < tNext && ft < fence {
+				tNext, src = ft, 1
+			}
+		}
+	} else if sh.flowIdx < len(sh.flowOrder) {
+		if ft := tr.Flows[sh.flowOrder[sh.flowIdx]].Start; ft < tNext && ft < fence {
+			tNext, src = ft, 1
+		}
 	}
-	if s.keepIdx < len(tr.Keepalives) && tr.Keepalives[s.keepIdx].T < tNext {
-		tNext, src = tr.Keepalives[s.keepIdx].T, 2
+	if sh.keepOrder == nil {
+		if sh.keepIdx < len(tr.Keepalives) {
+			if kt := tr.Keepalives[sh.keepIdx].T; kt < tNext && kt < fence {
+				tNext, src = kt, 2
+			}
+		}
+	} else if sh.keepIdx < len(sh.keepOrder) {
+		if kt := tr.Keepalives[sh.keepOrder[sh.keepIdx]].T; kt < tNext && kt < fence {
+			tNext, src = kt, 2
+		}
 	}
 	if src == -1 || tNext > s.end {
 		return false
 	}
-	s.now = tNext
+	sh.now = tNext
+	if sh == s.main {
+		s.now = tNext
+	}
 	switch src {
 	case 0:
-		s.handle(s.h.pop())
+		s.handle(sh, sh.h.pop())
 	case 1:
-		f := tr.Flows[s.flowIdx]
-		s.flowArrival(s.flowIdx, int(f.Client), f.Up)
-		s.flowIdx++
+		idx := sh.flowIdx
+		if sh.flowOrder != nil {
+			idx = int(sh.flowOrder[sh.flowIdx])
+		}
+		f := tr.Flows[idx]
+		s.flowArrival(sh, idx, int(f.Client), f.Up)
+		sh.flowIdx++
 	case 2:
-		k := tr.Keepalives[s.keepIdx]
-		s.keepalive(int(k.Client), int64(k.Bytes))
-		s.keepIdx++
+		idx := sh.keepIdx
+		if sh.keepOrder != nil {
+			idx = int(sh.keepOrder[sh.keepIdx])
+		}
+		k := tr.Keepalives[idx]
+		s.keepalive(sh, int(k.Client), int64(k.Bytes))
+		sh.keepIdx++
 	}
 	return true
 }
 
-func (s *sim) handle(e event) {
+func (s *sim) handle(sh *shard, e event) {
 	switch e.kind {
 	case evComplete:
-		g := s.gws[e.a]
+		g := &s.gws[e.a]
 		if e.aux != g.complEpoch {
 			return // superseded
 		}
-		s.elapse(g)
-		s.reapCompleted(g)
-		s.scheduleCompletion(g)
+		s.elapse(g, sh.now)
+		s.reapCompleted(sh, g)
+		s.scheduleCompletion(sh, g)
 	case evGwCheck:
-		g := s.gws[e.a]
+		g := &s.gws[e.a]
 		if e.t >= g.checkAt {
 			// This pop consumes the tracked earliest check (later stale
 			// ones may still sit in the heap; they re-derive and re-arm).
 			g.checkAt = math.Inf(1)
 		}
-		s.gwCheck(g)
+		s.gwCheck(sh, g)
 	case evDecide:
 		s.strat.onDecide(s, e.a)
 	case evTick:
@@ -94,9 +147,9 @@ func (s *sim) handle(e event) {
 
 // ---- gateway state machinery ----
 
-// awaken adds g to the active-gateway set. Called exactly where the engine
-// fires wake side effects (modem up, switch remap), so set membership
-// mirrors "the modem is not sleeping".
+// awaken adds g to lane sh's active-gateway set. Called exactly where the
+// engine fires wake side effects (modem up, switch remap), so set
+// membership mirrors "the modem is not sleeping".
 //
 // It also performs the lazy-sampling catch-up: while g slept, the dense
 // pre-refactor tick loop would have kept observing g's (unchanging) SN
@@ -104,34 +157,38 @@ func (s *sim) handle(e event) {
 // that tick's time reproduces the identical estimator state — the skipped
 // zero-frame samples are invisible to Utilization and ActiveWithin. If no
 // tick fired since the estimator's reset, the dense loop would have left it
-// unprimed, so neither do we.
-func (s *sim) awaken(g *gateway) {
-	w, b := g.id>>6, uint64(1)<<(uint(g.id)&63)
-	if s.awakeBits[w]&b != 0 {
+// unprimed, so neither do we. (tickCount/lastTickT advance only at epoch
+// barriers, so shard lanes read a stable snapshot mid-phase.)
+func (s *sim) awaken(sh *shard, g *gateway) {
+	l := g.id - sh.lo
+	w, b := l>>6, uint64(1)<<(uint(l)&63)
+	if sh.bits[w]&b != 0 {
 		return
 	}
-	s.awakeBits[w] |= b
-	s.awakeN++
+	sh.bits[w] |= b
+	sh.awakeN++
 	if s.tickCount > g.estResetTick {
 		g.est.Observe(s.lastTickT, g.sn.Value())
 	}
 }
 
-// quiesce removes g from the active-gateway set. Called exactly where the
-// engine fires sleep side effects (modem down, estimator reset).
-func (s *sim) quiesce(g *gateway) {
-	w, b := g.id>>6, uint64(1)<<(uint(g.id)&63)
-	if s.awakeBits[w]&b == 0 {
+// quiesce removes g from lane sh's active-gateway set. Called exactly where
+// the engine fires sleep side effects (modem down, estimator reset).
+func (s *sim) quiesce(sh *shard, g *gateway) {
+	l := g.id - sh.lo
+	w, b := l>>6, uint64(1)<<(uint(l)&63)
+	if sh.bits[w]&b == 0 {
 		return
 	}
-	s.awakeBits[w] &^= b
-	s.awakeN--
+	sh.bits[w] &^= b
+	sh.awakeN--
 	g.estResetTick = s.tickCount
 }
 
 // touch registers traffic/wake intent on gateway g, firing ISP-side side
-// effects when it starts a wake.
-func (s *sim) touch(g *gateway, t float64) {
+// effects when it starts a wake. sh must be g's owning lane (strategy code
+// passes s.main, which owns every gateway in the modes strategies run in).
+func (s *sim) touch(sh *shard, g *gateway, t float64) {
 	if s.cfg.RandomWake && g.ctl.State() == power.Sleeping {
 		g.ctl.WakeDelay = dsl.WakeTime(s.wakeRNG)
 	}
@@ -139,13 +196,12 @@ func (s *sim) touch(g *gateway, t float64) {
 	if woke {
 		// Line becomes active: modem powers up, switch may remap (the only
 		// legal remap instant), cards may wake.
-		s.awaken(g)
+		s.awaken(sh, g)
 		g.modem.SetState(t, power.Waking)
-		s.policy.OnWake(g.id)
-		s.updateCards(t)
+		s.lineWake(sh, g.id, t)
 		g.lastElapse = t
 	}
-	s.armGwCheck(g)
+	s.armGwCheck(sh, g)
 }
 
 // armGwCheck schedules the controller's next autonomous transition,
@@ -153,37 +209,38 @@ func (s *sim) touch(g *gateway, t float64) {
 // skipped case is covered because a stale pop re-arms from the then-current
 // due time (see gwCheck), so exactly one live check chases each gateway's
 // moving deadline instead of one per touch.
-func (s *sim) armGwCheck(g *gateway) {
+func (s *sim) armGwCheck(sh *shard, g *gateway) {
 	if next := g.ctl.NextTransition(); !math.IsInf(next, 1) && next < g.checkAt {
 		g.checkAt = next
-		s.push(event{t: next, kind: evGwCheck, a: g.id})
+		sh.push(event{t: next, kind: evGwCheck, a: g.id})
 	}
 }
 
 // gwCheck fires scheduled controller transitions (wake completion or sleep
-// deadline) as of s.now. Stale events re-derive the due time and re-arm.
-func (s *sim) gwCheck(g *gateway) {
+// deadline) as of sh.now. Stale events re-derive the due time and re-arm.
+func (s *sim) gwCheck(sh *shard, g *gateway) {
+	now := sh.now
 	due := g.ctl.NextTransition()
-	if math.IsInf(due, 1) || due > s.now+1e-9 {
-		s.armGwCheck(g) // superseded by later activity: chase the new deadline
+	if math.IsInf(due, 1) || due > now+1e-9 {
+		s.armGwCheck(sh, g) // superseded by later activity: chase the new deadline
 		return
 	}
 	switch g.ctl.State() {
 	case power.Waking:
-		g.ctl.Advance(s.now)
+		g.ctl.Advance(now)
 		g.modem.SetState(due, power.On)
-		g.lastElapse = s.now
+		g.lastElapse = now
 		for _, fi := range g.flows {
 			if f := &s.flows[fi]; f.stallFrom >= 0 {
-				f.stalled += s.now - f.stallFrom
+				f.stalled += now - f.stallFrom
 				f.stallFrom = -1
 			}
 		}
-		s.scheduleCompletion(g)
+		s.scheduleCompletion(sh, g)
 		// Hand back exactly the clients that were waiting for this, their
 		// home gateway — O(|waiting|), not a scan over every client.
 		for _, c := range g.pending {
-			cl := s.clients[c]
+			cl := &s.clients[c]
 			cl.pendingHome = false
 			cl.pendingPos = -1
 			cl.assigned = g.id
@@ -195,21 +252,20 @@ func (s *sim) gwCheck(g *gateway) {
 		// without advancing (Touch at the exact deadline would sleep and
 		// immediately re-wake, charging a bogus 60 s stall).
 		if len(g.flows) > 0 {
-			g.ctl.Busy(s.now)
-			s.armGwCheck(g)
+			g.ctl.Busy(now)
+			s.armGwCheck(sh, g)
 			return
 		}
-		s.elapse(g)
-		g.ctl.Advance(s.now)
+		s.elapse(g, now)
+		g.ctl.Advance(now)
 		if g.ctl.State() == power.Sleeping {
 			g.modem.SetState(due, power.Sleeping)
-			s.policy.OnSleep(g.id)
-			s.updateCards(due)
+			s.lineSleep(sh, g.id, due)
 			g.est.Reset()
-			s.quiesce(g)
+			s.quiesce(sh, g)
 		}
 	}
-	s.armGwCheck(g)
+	s.armGwCheck(sh, g)
 }
 
 // updateCards reconciles line-card power states with the switch policy.
@@ -235,12 +291,12 @@ func (s *sim) updateCards(t float64) {
 // markPendingHome queues client c on its home gateway's wake hand-back
 // list (bh2.ReturnHome while riding a remote until home is operative).
 func (s *sim) markPendingHome(c int) {
-	cl := s.clients[c]
+	cl := &s.clients[c]
 	if cl.pendingHome {
 		return
 	}
 	cl.pendingHome = true
-	g := s.gws[cl.home]
+	g := &s.gws[cl.home]
 	cl.pendingPos = len(g.pending)
 	g.pending = append(g.pending, c)
 }
@@ -249,11 +305,11 @@ func (s *sim) markPendingHome(c int) {
 // list in O(1) (swap-remove; drain order at wake is immaterial since each
 // hand-back touches only its own client).
 func (s *sim) unmarkPendingHome(c int) {
-	cl := s.clients[c]
+	cl := &s.clients[c]
 	if !cl.pendingHome {
 		return
 	}
-	g := s.gws[cl.home]
+	g := &s.gws[cl.home]
 	last := len(g.pending) - 1
 	if i := cl.pendingPos; i != last {
 		moved := g.pending[last]
@@ -267,10 +323,10 @@ func (s *sim) unmarkPendingHome(c int) {
 
 // ---- transport ----
 
-// elapse integrates service on g's flows up to s.now.
-func (s *sim) elapse(g *gateway) {
-	dt := s.now - g.lastElapse
-	g.lastElapse = s.now
+// elapse integrates service on g's flows up to now.
+func (s *sim) elapse(g *gateway, now float64) {
+	dt := now - g.lastElapse
+	g.lastElapse = now
 	if dt <= 0 || len(g.flows) == 0 || !g.ctl.Awake() {
 		return
 	}
@@ -288,7 +344,9 @@ func (s *sim) elapse(g *gateway) {
 		}
 		f.rem -= x
 		served += x
-		s.clientBytes[f.client] += x
+		if s.needDemand {
+			s.clientBytes[f.client] += x
+		}
 	}
 	// Feed the SN counter for passive load estimation.
 	g.byteResidual += served
@@ -300,7 +358,7 @@ func (s *sim) elapse(g *gateway) {
 }
 
 // reapCompleted finalizes flows with no remaining bytes.
-func (s *sim) reapCompleted(g *gateway) {
+func (s *sim) reapCompleted(sh *shard, g *gateway) {
 	keep := g.flows[:0]
 	finished := false
 	for _, fi := range g.flows {
@@ -309,7 +367,7 @@ func (s *sim) reapCompleted(g *gateway) {
 		// completion deltas would stall the clock on float precision.
 		if f.rem < 1 {
 			f.done = true
-			f.completed = s.now
+			f.completed = sh.now
 			finished = true
 		} else {
 			keep = append(keep, fi)
@@ -317,8 +375,8 @@ func (s *sim) reapCompleted(g *gateway) {
 	}
 	g.flows = keep
 	if finished {
-		g.flowsGen++      // membership changed: completion cache is stale
-		s.touch(g, s.now) // completion packets reset the idle clock
+		g.flowsGen++           // membership changed: completion cache is stale
+		s.touch(sh, g, sh.now) // completion packets reset the idle clock
 	}
 }
 
@@ -333,7 +391,7 @@ func (s *sim) reapCompleted(g *gateway) {
 // the hot path; membership changes that invalidate it (reap, migration,
 // rate-capped arrivals) already pay an O(flows) elapse, so the fallback
 // scan never changes the asymptotics.
-func (s *sim) scheduleCompletion(g *gateway) {
+func (s *sim) scheduleCompletion(sh *shard, g *gateway) {
 	g.complEpoch++
 	if len(g.flows) == 0 || !g.ctl.Awake() {
 		return
@@ -368,22 +426,25 @@ func (s *sim) scheduleCompletion(g *gateway) {
 	if tMin < 1e-9 {
 		tMin = 1e-9 // keep the clock moving even for sub-byte remainders
 	}
-	s.push(event{t: s.now + tMin, kind: evComplete, a: g.id, aux: g.complEpoch})
+	sh.push(event{t: sh.now + tMin, kind: evComplete, a: g.id, aux: g.complEpoch})
 }
 
 // ---- traffic entry points ----
 
-func (s *sim) flowArrival(idx, c int, up bool) {
+// flowArrival starts trace flow idx on lane sh. The strategy's route is
+// safe to call from a shard lane because modeLocal schemes route purely
+// (the client's immutable home); every other scheme runs single-lane.
+func (s *sim) flowArrival(sh *shard, idx, c int, up bool) {
 	f := &s.flows[idx]
 	f.up = up
 	if up {
 		f.done = false
 		return // the evaluation simulates downlink only
 	}
-	s.lastTraffic[c] = s.now
+	s.lastTraffic[c] = sh.now
 	gw := s.strat.route(s, c)
-	g := s.gws[gw]
-	s.elapse(g)
+	g := &s.gws[gw]
+	s.elapse(g, sh.now)
 	capBps := s.linkBps(c, gw)
 	if r := s.cfg.Trace.Flows[idx].Rate; r > 0 && r < capBps {
 		capBps = r
@@ -410,20 +471,22 @@ func (s *sim) flowArrival(idx, c int, up bool) {
 			g.schedGen = g.flowsGen
 		}
 	}
-	s.touch(g, s.now)
+	s.touch(sh, g, sh.now)
 	if !g.ctl.Awake() {
-		f.stallFrom = s.now
+		f.stallFrom = sh.now
 	}
-	s.scheduleCompletion(g)
+	s.scheduleCompletion(sh, g)
 }
 
-func (s *sim) keepalive(c int, bytes int64) {
-	s.lastTraffic[c] = s.now
+func (s *sim) keepalive(sh *shard, c int, bytes int64) {
+	s.lastTraffic[c] = sh.now
 	gw := s.strat.route(s, c)
-	g := s.gws[gw]
-	s.touch(g, s.now)
+	g := &s.gws[gw]
+	s.touch(sh, g, sh.now)
 	g.sn.Advance(wifi.FramesFor(bytes))
-	s.clientBytes[c] += float64(bytes)
+	if s.needDemand {
+		s.clientBytes[c] += float64(bytes)
+	}
 }
 
 // linkBps returns the usable client-gateway rate; falls back to the
@@ -438,34 +501,54 @@ func (s *sim) linkBps(c, gw int) float64 {
 
 // ---- metrics ----
 
-// tick samples the metric series. It visits only the active-gateway set —
-// O(awake), not O(all gateways): a sleeping gateway needs no controller
-// advance (nothing is due), no transport elapse (it carries no flows), and
-// its estimator observations would be zero-frame samples invisible to every
-// query (the wake-time catch-up in awaken reproduces the estimator state
-// exactly). Its power draw integrates in closed form below. Gateways that
-// the set still carries but whose controller already crossed its sleep
-// deadline (the deadline fell on this very tick) are handled identically to
-// the dense loop: advanced, sampled, and counted offline.
+// tick samples the metric series on the main lane. It visits only the
+// active-gateway sets — O(awake), not O(all gateways): a sleeping gateway
+// needs no controller advance (nothing is due), no transport elapse (it
+// carries no flows), and its estimator observations would be zero-frame
+// samples invisible to every query (the wake-time catch-up in awaken
+// reproduces the estimator state exactly). Its power draw integrates in
+// closed form below. Gateways that the set still carries but whose
+// controller already crossed its sleep deadline (the deadline fell on this
+// very tick) are handled identically to the dense loop: advanced, sampled,
+// and counted offline.
+//
+// When a worker pool is live, the per-gateway prep (controller advance,
+// transport elapse, estimator observation — all gateway-private state)
+// fans out in parallel first; the float reductions below then run serially
+// in ascending gateway id order, so the sums are bit-identical to the
+// serial interleaved loop.
 func (s *sim) tick() {
 	s.tickCount++
 	s.lastTickT = s.now
+	prepped := false
+	if s.pool != nil && s.pool.running {
+		s.pool.run(poolCmd{kind: cmdPrep, t: s.now})
+		prepped = true
+	}
 	var userW, ispW float64
 	online := 0
-	for w, word := range s.awakeBits {
-		for word != 0 {
-			g := s.gws[w<<6+bits.TrailingZeros64(word)]
-			word &= word - 1
-			g.ctl.Advance(s.now)
-			if g.ctl.State() != power.Sleeping {
-				online++
+	awake := 0
+	for si := range s.shards {
+		sh := &s.shards[si]
+		awake += sh.awakeN
+		for w, word := range sh.bits {
+			base := sh.lo + w<<6
+			for word != 0 {
+				g := &s.gws[base+bits.TrailingZeros64(word)]
+				word &= word - 1
+				if !prepped {
+					g.ctl.Advance(s.now)
+					// The estimator needs service progress up to now, not
+					// just up to the last transport event.
+					s.elapse(g, s.now)
+					g.est.Observe(s.now, g.sn.Value())
+				}
+				if g.ctl.State() != power.Sleeping {
+					online++
+				}
+				userW += g.ctl.Device().DrawW()
+				ispW += g.modem.DrawW()
 			}
-			// The estimator needs service progress up to now, not just up
-			// to the last transport event.
-			s.elapse(g)
-			g.est.Observe(s.now, g.sn.Value())
-			userW += g.ctl.Device().DrawW()
-			ispW += g.modem.DrawW()
 		}
 	}
 	// Closed-form integration of the quiescent population: every gateway
@@ -474,7 +557,7 @@ func (s *sim) tick() {
 	// (SleepWatts == 0), which is what keeps this term bit-identical to
 	// the dense loop's interleaved additions; if SleepWatts ever becomes
 	// nonzero this stays correct but float summation order changes.
-	nSleep := float64(len(s.gws) - s.awakeN)
+	nSleep := float64(len(s.gws) - awake)
 	userW += nSleep * power.SleepWatts
 	ispW += nSleep * power.SleepWatts
 	for _, cd := range s.cards {
@@ -486,6 +569,23 @@ func (s *sim) tick() {
 	s.ispTS.Add(s.now, ispW)
 	s.gwTS.Add(s.now, float64(online))
 	s.cardTS.Add(s.now, float64(s.policy.AwakeCardCount()))
+}
+
+// tickPrepRange runs the per-gateway tick prep over one worker's span:
+// words [w0, w1) of sh's active bitset. Everything touched is private to
+// the gateway, so spans advance concurrently without synchronization.
+func (s *sim) tickPrepRange(sh *shard, w0, w1 int, now float64) {
+	for w := w0; w < w1; w++ {
+		word := sh.bits[w]
+		base := sh.lo + w<<6
+		for word != 0 {
+			g := &s.gws[base+bits.TrailingZeros64(word)]
+			word &= word - 1
+			g.ctl.Advance(now)
+			s.elapse(g, now)
+			g.est.Observe(now, g.sn.Value())
+		}
+	}
 }
 
 func (s *sim) result() *Result {
@@ -509,7 +609,8 @@ func (s *sim) result() *Result {
 			res.FlowStall[i] = nan
 		}
 	}
-	for gwID, g := range s.gws {
+	for gwID := range s.gws {
+		g := &s.gws[gwID]
 		res.GatewayOnTime[gwID] = g.ctl.Device().OnTimeAt(s.end)
 		res.Energy.UserJ += g.ctl.Device().EnergyAt(s.end)
 		res.Energy.ISPJ += g.modem.EnergyAt(s.end)

@@ -218,19 +218,19 @@ func TestWakeHandsBackExactlyWaitingClients(t *testing.T) {
 	}
 
 	// Wake gateway 0 and complete the wake.
-	s.now = 100
-	s.touch(s.gws[0], s.now)
-	s.now = s.gws[0].ctl.NextTransition()
-	s.gwCheck(s.gws[0])
+	s.main.now = 100
+	s.touch(s.main, &s.gws[0], s.main.now)
+	s.main.now = s.gws[0].ctl.NextTransition()
+	s.gwCheck(s.main, &s.gws[0])
 
 	if cl := s.clients[0]; cl.assigned != 0 || cl.pendingHome || cl.pendingPos != -1 {
-		t.Errorf("waiting client not handed back: %+v", *cl)
+		t.Errorf("waiting client not handed back: %+v", cl)
 	}
 	if cl := s.clients[1]; cl.assigned != 1 || cl.pendingHome {
-		t.Errorf("non-waiting client disturbed: %+v", *cl)
+		t.Errorf("non-waiting client disturbed: %+v", cl)
 	}
 	if cl := s.clients[3]; cl.assigned != 0 || !cl.pendingHome {
-		t.Errorf("client waiting for another gateway disturbed: %+v", *cl)
+		t.Errorf("client waiting for another gateway disturbed: %+v", cl)
 	}
 	if got := len(s.gws[0].pending); got != 0 {
 		t.Errorf("gateway 0 pending list not drained: %d entries", got)
@@ -262,14 +262,14 @@ func TestPendingHomeUnmarkSwapRemove(t *testing.T) {
 }
 
 func TestEventHeapOrdering(t *testing.T) {
-	var s sim
-	s.push(event{t: 5, kind: evTick})
-	s.push(event{t: 1, kind: evTick})
-	s.push(event{t: 5, kind: evGwCheck}) // same time: FIFO by seq
-	if s.h.ev[0].t != 1 {
+	var sh shard
+	sh.push(event{t: 5, kind: evTick})
+	sh.push(event{t: 1, kind: evTick})
+	sh.push(event{t: 5, kind: evGwCheck}) // same time: FIFO by seq
+	if sh.h.ev[0].t != 1 {
 		t.Fatal("heap not ordered by time")
 	}
-	first := s.h.ev[0]
+	first := sh.h.ev[0]
 	if first.kind != evTick {
 		t.Fatal("wrong head")
 	}

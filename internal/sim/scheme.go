@@ -35,6 +35,16 @@ type strategy interface {
 	// sleepCards reports whether line cards may follow the switch policy to
 	// sleep (false under no-sleep).
 	sleepCards() bool
+	// parallelMode classifies how far the sharded engine may parallelize
+	// the scheme while staying byte-identical to the serial engine (see
+	// shard.go): modeLocal when every non-tick event is statically
+	// shard-local, modeTick when the event order couples shards through a
+	// shared RNG but the tick work is per-gateway, modeSerial otherwise.
+	parallelMode() engineMode
+	// usesDemand reports whether the scheme reads the per-client demand
+	// counters (sim.clientBytes); the engine skips that accounting — and
+	// keeps the parallel tick free of shared writes — when it does not.
+	usesDemand() bool
 }
 
 // newStrategy maps a Scheme constant to its strategy implementation.
@@ -74,6 +84,8 @@ func (baseScheme) route(s *sim, c int) int                { return s.clients[c].
 func (baseScheme) onDecide(*sim, int)                     {}
 func (baseScheme) onResolve(*sim)                         {}
 func (baseScheme) sleepCards() bool                       { return true }
+func (baseScheme) parallelMode() engineMode               { return modeSerial }
+func (baseScheme) usesDemand() bool                       { return false }
 
 // fabric selects the DSLAM switch model a scheme runs over (§4).
 type fabric int

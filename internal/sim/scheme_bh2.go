@@ -21,6 +21,11 @@ func (sc bh2Scheme) newPolicy(cfg Config) (kswitch.Policy, error) {
 	return sc.fabric.build(cfg)
 }
 
+// Decisions (and sleeping-gateway routes) consume the shared decision RNG
+// in global event order, so the event loop stays serial; only the tick
+// work parallelizes.
+func (bh2Scheme) parallelMode() engineMode { return modeTick }
+
 // seedEvents spreads the first decision of every terminal uniformly over
 // one period so the population never decides in lockstep.
 func (sc bh2Scheme) seedEvents(s *sim) {
@@ -34,7 +39,7 @@ func (sc bh2Scheme) seedEvents(s *sim) {
 // gateway vanished, an immediate decision runs first (the terminal notices
 // missing beacons right away).
 func (sc bh2Scheme) route(s *sim, c int) int {
-	cl := s.clients[c]
+	cl := &s.clients[c]
 	if s.gws[cl.assigned].ctl.State() == power.Sleeping {
 		sc.apply(s, c, bh2.Decide(s.decRNG, s.cfg.BH2, cl.home, cl.assigned, sc.views(s, c)))
 	}
@@ -52,7 +57,7 @@ func (sc bh2Scheme) views(s *sim, c int) []bh2.GatewayView {
 	rng := s.cfg.Topo.InRange(c)
 	out := make([]bh2.GatewayView, 0, len(rng))
 	for _, gw := range rng {
-		g := s.gws[gw]
+		g := &s.gws[gw]
 		out = append(out, bh2.GatewayView{
 			ID:     gw,
 			Awake:  g.ctl.State() == power.On,
@@ -80,7 +85,7 @@ func (sc bh2Scheme) decide(s *sim, c int) {
 
 func (sc bh2Scheme) apply(s *sim, c int, d bh2.Decision) {
 	s.reasons[d.Reason]++
-	cl := s.clients[c]
+	cl := &s.clients[c]
 	switch d.Action {
 	case bh2.Move:
 		if cl.assigned != d.Target {
@@ -89,14 +94,14 @@ func (sc bh2Scheme) apply(s *sim, c int, d bh2.Decision) {
 			s.moves++
 		}
 	case bh2.ReturnHome:
-		home := s.gws[cl.home]
+		home := &s.gws[cl.home]
 		if home.ctl.Awake() {
 			cl.assigned = cl.home
 			s.unmarkPendingHome(c)
 			return
 		}
 		if s.cfg.BH2.WakeUpHome {
-			s.touch(home, s.now) // wake it up if necessary (§3.1)
+			s.touch(s.main, home, s.now) // wake it up if necessary (§3.1)
 		}
 		if s.gws[cl.assigned].ctl.Awake() && cl.assigned != cl.home {
 			// Keep riding the current remote until home is operative.

@@ -17,6 +17,9 @@ func (centralizedScheme) newPolicy(cfg Config) (kswitch.Policy, error) {
 	return kSwitchFabric.build(cfg)
 }
 
+// Same global solve as Optimal: demand accounting on, serial engine.
+func (centralizedScheme) usesDemand() bool { return true }
+
 func (centralizedScheme) seedEvents(s *sim) {
 	s.push(event{t: s.cfg.OptimalEvery, kind: evResolve})
 }
@@ -26,8 +29,8 @@ func (centralizedScheme) seedEvents(s *sim) {
 // wake delay — no fiat here. Prefer an awake in-range gateway when the
 // assigned one is asleep.
 func (sc centralizedScheme) route(s *sim, c int) int {
-	cl := s.clients[c]
-	if g := s.gws[cl.assigned]; g.ctl.State() != power.Sleeping {
+	cl := &s.clients[c]
+	if g := &s.gws[cl.assigned]; g.ctl.State() != power.Sleeping {
 		return cl.assigned
 	}
 	for _, gw := range s.cfg.Topo.InRange(c) {
@@ -60,9 +63,10 @@ func (sc centralizedScheme) onResolve(s *sim) {
 	}
 	// Wake the chosen gateways (ISP-side remote wake); everything else is
 	// left to drain naturally.
-	for gwID, g := range s.gws {
+	for gwID := range s.gws {
+		g := &s.gws[gwID]
 		if sol.Open[gwID] && g.ctl.State() == power.Sleeping {
-			s.touch(g, s.now)
+			s.touch(s.main, g, s.now)
 		}
 	}
 }

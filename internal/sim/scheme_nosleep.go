@@ -33,3 +33,7 @@ func (noSleepScheme) postInit(s *sim) {
 }
 
 func (noSleepScheme) sleepCards() bool { return false }
+
+// Routing is always the home gateway and nothing ever sleeps: every event
+// is shard-local.
+func (noSleepScheme) parallelMode() engineMode { return modeLocal }

@@ -23,6 +23,10 @@ func (optimalScheme) newPolicy(cfg Config) (kswitch.Policy, error) {
 	return fullSwitchFabric.build(cfg)
 }
 
+// The per-minute solve reads every client's demand and routes across the
+// whole topology: the run stays on the serial engine.
+func (optimalScheme) usesDemand() bool { return true }
+
 func (optimalScheme) seedEvents(s *sim) {
 	s.push(event{t: s.cfg.OptimalEvery, kind: evResolve})
 }
@@ -30,8 +34,8 @@ func (optimalScheme) seedEvents(s *sim) {
 // route prefers the current assignment, then any open in-range gateway,
 // else opens the home gateway by fiat.
 func (sc optimalScheme) route(s *sim, c int) int {
-	cl := s.clients[c]
-	if g := s.gws[cl.assigned]; g.ctl.Awake() {
+	cl := &s.clients[c]
+	if g := &s.gws[cl.assigned]; g.ctl.Awake() {
 		return cl.assigned
 	}
 	for _, gw := range s.cfg.Topo.InRange(c) {
@@ -85,8 +89,8 @@ func (sc optimalScheme) onResolve(s *sim) {
 	in, users := demandInstance(s)
 	if len(users) == 0 {
 		// Nobody active: close everything.
-		for _, g := range s.gws {
-			sc.closeGateway(s, g)
+		for gwID := range s.gws {
+			sc.closeGateway(s, &s.gws[gwID])
 		}
 		return
 	}
@@ -102,15 +106,17 @@ func (sc optimalScheme) onResolve(s *sim) {
 		s.clients[c].assigned = sol.Assign[ui][0]
 	}
 	// Open/close gateways; migrate flows off closing ones first.
-	for gwID, g := range s.gws {
+	for gwID := range s.gws {
+		g := &s.gws[gwID]
 		if sol.Open[gwID] {
 			if g.ctl.State() != power.On {
-				s.touch(g, s.now) // WakeDelay 0: usable immediately
-				s.gwCheck(g)
+				s.touch(s.main, g, s.now) // WakeDelay 0: usable immediately
+				s.gwCheck(s.main, g)
 			}
 		}
 	}
-	for gwID, g := range s.gws {
+	for gwID := range s.gws {
+		g := &s.gws[gwID]
 		if sol.Open[gwID] || g.ctl.State() == power.Sleeping {
 			continue
 		}
@@ -127,7 +133,7 @@ func (sc optimalScheme) migrateFlows(s *sim, g *gateway) {
 	if len(g.flows) == 0 {
 		return
 	}
-	s.elapse(g)
+	s.elapse(g, s.now)
 	moving := g.flows
 	g.flows = nil
 	g.flowsGen++
@@ -135,14 +141,14 @@ func (sc optimalScheme) migrateFlows(s *sim, g *gateway) {
 	for _, fi := range moving {
 		f := &s.flows[fi]
 		target := s.clients[f.client].assigned
-		tg := s.gws[target]
+		tg := &s.gws[target]
 		if !tg.ctl.Awake() {
 			// Assignment landed on a closed gateway (client had no demand
 			// this round): ride any open in-range one.
 			target = sc.route(s, f.client)
-			tg = s.gws[target]
+			tg = &s.gws[target]
 		}
-		s.elapse(tg)
+		s.elapse(tg, s.now)
 		f.gw = target
 		f.capBps = s.linkBps(f.client, target)
 		if r := s.cfg.Trace.Flows[fi].Rate; r > 0 && r < f.capBps {
@@ -150,8 +156,8 @@ func (sc optimalScheme) migrateFlows(s *sim, g *gateway) {
 		}
 		tg.flows = append(tg.flows, fi)
 		tg.flowsGen++
-		s.touch(tg, s.now)
-		s.scheduleCompletion(tg)
+		s.touch(s.main, tg, s.now)
+		s.scheduleCompletion(s.main, tg)
 	}
 }
 
@@ -159,10 +165,10 @@ func (optimalScheme) closeGateway(s *sim, g *gateway) {
 	if g.ctl.State() == power.Sleeping {
 		return
 	}
-	s.elapse(g)
+	s.elapse(g, s.now)
 	g.ctl.Sleep(s.now)
 	g.modem.SetState(s.now, power.Sleeping)
 	s.policy.OnSleep(g.id)
 	g.est.Reset()
-	s.quiesce(g)
+	s.quiesce(s.main, g)
 }

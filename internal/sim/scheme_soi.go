@@ -14,3 +14,7 @@ type soiScheme struct {
 func (sc soiScheme) newPolicy(cfg Config) (kswitch.Policy, error) {
 	return sc.fabric.build(cfg)
 }
+
+// Routing is always the home gateway and wake/sleep side effects beyond the
+// gateway itself are pure switch-fabric sinks: every event is shard-local.
+func (soiScheme) parallelMode() engineMode { return modeLocal }

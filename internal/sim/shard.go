@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"math"
+	"sync"
+)
+
+// The sharded event engine. One simulation is partitioned by gateway into S
+// independent lanes (see shard in state.go), each advanced by its own
+// worker goroutine, with a coordinator lane carrying the events that need
+// global order (metric ticks, BH2 decisions, re-solves). The partition is
+// exact, not approximate: results are byte-identical to the serial engine
+// at every shard count, pinned by golden_test.go / shard_test.go.
+//
+// Why this is possible without rollback: the engine's cross-gateway state
+// splits into two classes.
+//
+//   - Pure sinks: the kswitch policy and the line-card/shelf devices.
+//     Nothing they compute feeds back into gateway, client or flow
+//     dynamics, so shards queue their OnWake/OnSleep effects locally
+//     (sinkOp) and the coordinator replays the merged queues in global
+//     time order at each epoch barrier — the serial call sequence exactly.
+//
+//   - Real coupling: shared RNG streams (BH2 decisions, RandomWake) and
+//     the coordinated schemes' global re-solves. These cannot be
+//     partitioned without changing the serial event order, so the engine
+//     degrades per scheme instead of approximating (engineMode below).
+//
+// Epoch barriers are the coordinator's own events: between two coordinator
+// events every remaining event is provably shard-local, so each lane runs
+// free until the fence time, then the barrier applies sink ops and the
+// coordinator event. With the default 1 s metric tick the fence overhead is
+// one pool rendezvous per simulated second.
+type engineMode uint8
+
+const (
+	// modeSerial: the scheme couples shards through more than sinks
+	// (global re-solves reading every client's demand, cross-shard
+	// routing); the run uses the serial engine regardless of Shards.
+	modeSerial engineMode = iota
+	// modeTick: the event loop stays serial (shared-RNG event order), but
+	// the per-gateway tick work — controller advance, transport elapse,
+	// estimator observation — fans out across workers. This is the BH2
+	// and RandomWake mode; ticks dominate those runs' gateway-state work.
+	modeTick
+	// modeLocal: every non-coordinator event is statically shard-local
+	// (routing is always the client's home gateway, no shared RNG), so
+	// shards run the full event loop in parallel between fences.
+	modeLocal
+)
+
+// buildLanes sets up the engine lanes for the configured shard count:
+// either the single serial lane or S shard lanes plus the coordinator.
+// allAwake seeds the active-gateway bitsets for schemes starting On.
+func (s *sim) buildLanes(allAwake bool) {
+	nGW := len(s.gws)
+	n := s.cfg.Shards
+	if n > nGW {
+		n = nGW
+	}
+	if n < 2 || s.mode != modeLocal {
+		// Single lane covering everything. modeTick still fans the tick
+		// loop out over word ranges of this lane's bitset.
+		s.shards = []shard{{lo: 0, hi: nGW, bits: make([]uint64, (nGW+63)/64)}}
+		s.main = &s.shards[0]
+		if allAwake {
+			seedBits(&s.shards[0])
+		}
+		if n >= 2 && s.mode == modeTick {
+			s.pool = newShardPool(s, tickSpans(&s.shards[0], n))
+		}
+		return
+	}
+
+	s.shards = make([]shard, n)
+	s.gwShard = make([]int32, nGW)
+	for i := 0; i < n; i++ {
+		lo, hi := i*nGW/n, (i+1)*nGW/n
+		s.shards[i] = shard{
+			id: i, lo: lo, hi: hi,
+			bits:       make([]uint64, (hi-lo+63)/64),
+			deferSinks: true,
+		}
+		for g := lo; g < hi; g++ {
+			s.gwShard[g] = int32(i)
+		}
+		if allAwake {
+			seedBits(&s.shards[i])
+		}
+	}
+	// The coordinator lane owns no gateways and no trace records — only
+	// the globally-ordered event heap (ticks, under modeLocal).
+	s.co = shard{id: n, deferSinks: false}
+	s.main = &s.co
+
+	// Partition the trace streams by the client's home shard. Routing in
+	// modeLocal is always the home gateway, so a record's entire effect
+	// lands on that shard. Trace order within a shard is time order.
+	// The orders start empty but non-nil: nil is the serial sentinel for
+	// "consume the whole stream", and a shard that happens to receive no
+	// records (quiet trace windows) must consume none, not all.
+	tr := s.cfg.Trace
+	for i := range s.shards {
+		s.shards[i].flowOrder = []int32{}
+		s.shards[i].keepOrder = []int32{}
+	}
+	for i, f := range tr.Flows {
+		sh := &s.shards[s.gwShard[s.clients[f.Client].home]]
+		sh.flowOrder = append(sh.flowOrder, int32(i))
+	}
+	for i, k := range tr.Keepalives {
+		sh := &s.shards[s.gwShard[s.clients[k.Client].home]]
+		sh.keepOrder = append(sh.keepOrder, int32(i))
+	}
+	s.sinkIdx = make([]int, n)
+
+	spans := make([]poolSpan, n)
+	for i := range spans {
+		spans[i] = poolSpan{sh: &s.shards[i], w0: 0, w1: len(s.shards[i].bits)}
+	}
+	s.pool = newShardPool(s, spans)
+}
+
+func seedBits(sh *shard) {
+	for g := sh.lo; g < sh.hi; g++ {
+		sh.bits[(g-sh.lo)>>6] |= 1 << (uint(g-sh.lo) & 63)
+	}
+	sh.awakeN = sh.hi - sh.lo
+}
+
+// tickSpans splits one lane's bitset words into n contiguous ranges for
+// the parallel tick prep of modeTick.
+func tickSpans(sh *shard, n int) []poolSpan {
+	nW := len(sh.bits)
+	if n > nW && nW > 0 {
+		n = nW
+	}
+	spans := make([]poolSpan, n)
+	for i := range spans {
+		spans[i] = poolSpan{sh: sh, w0: i * nW / n, w1: (i + 1) * nW / n}
+	}
+	return spans
+}
+
+// runSharded drives a modeLocal run: epochs of parallel shard progress
+// separated by coordinator events.
+func (s *sim) runSharded() {
+	s.pool.start()
+	defer s.pool.stop()
+	for s.shardedStep() {
+	}
+	s.now = s.end
+}
+
+// shardedStep runs one epoch: advance every shard lane up to the next
+// coordinator event's time, replay the deferred sink ops, then fire the
+// coordinator event. It returns false after the final epoch, which drains
+// the shards to the end of the trace.
+//
+// Events at exactly the fence time follow the serial tie rule, enforced in
+// stepLane: heap events pushed before the phase began beat the coordinator
+// event (their serial seq is lower — the coordinator event was pushed while
+// handling its predecessor), everything else waits for the next epoch.
+func (s *sim) shardedStep() bool {
+	if s.main.h.len() == 0 || s.main.h.ev[0].t > s.end {
+		s.pool.run(poolCmd{kind: cmdPhase, t: math.Inf(1)})
+		s.drainSinks()
+		return false
+	}
+	tF := s.main.h.ev[0].t
+	s.pool.run(poolCmd{kind: cmdPhase, t: tF})
+	s.drainSinks()
+	e := s.main.h.pop()
+	s.main.now = e.t
+	s.now = e.t
+	s.handle(s.main, e)
+	return true
+}
+
+// drainSinks replays the shards' deferred switch-fabric ops in global time
+// order: a k-way merge over the per-shard queues by head-op time (each
+// queue is already time-ordered — ops are stamped with the generating
+// event's time), ties broken by shard id. Each op updates the shared
+// policy and reconciles the line cards exactly as the serial engine does
+// inline, so policy state and card energy integration are bit-identical.
+func (s *sim) drainSinks() {
+	idx := s.sinkIdx
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		best := -1
+		var bt float64
+		for si := range s.shards {
+			q := s.shards[si].sinks
+			if idx[si] >= len(q) {
+				continue
+			}
+			if t := q[idx[si]].t; best == -1 || t < bt {
+				best, bt = si, t
+			}
+		}
+		if best == -1 {
+			break
+		}
+		op := s.shards[best].sinks[idx[best]]
+		idx[best]++
+		if op.wake {
+			s.policy.OnWake(int(op.gw))
+		} else {
+			s.policy.OnSleep(int(op.gw))
+		}
+		s.updateCards(op.t)
+	}
+	for si := range s.shards {
+		s.shards[si].sinks = s.shards[si].sinks[:0]
+	}
+}
+
+// lineWake fires the ISP-side effects of a line going active: immediately
+// on single-lane runs, deferred to the next barrier on shard lanes.
+func (s *sim) lineWake(sh *shard, gw int, t float64) {
+	if sh.deferSinks {
+		sh.sinks = append(sh.sinks, sinkOp{t: t, gw: int32(gw), wake: true})
+		return
+	}
+	s.policy.OnWake(gw)
+	s.updateCards(t)
+}
+
+// lineSleep is the inactive counterpart of lineWake.
+func (s *sim) lineSleep(sh *shard, gw int, t float64) {
+	if sh.deferSinks {
+		sh.sinks = append(sh.sinks, sinkOp{t: t, gw: int32(gw), wake: false})
+		return
+	}
+	s.policy.OnSleep(gw)
+	s.updateCards(t)
+}
+
+// ---- worker pool ----
+
+// shardPool owns the persistent worker goroutines. Workers idle on their
+// command channel between epochs; commands are plain values and the
+// rendezvous is WaitGroup-based, so a steady-state epoch allocates nothing.
+type shardPool struct {
+	s       *sim
+	spans   []poolSpan
+	cmds    []chan poolCmd
+	wg      sync.WaitGroup
+	running bool
+}
+
+// poolSpan is one worker's assignment: a lane, and the bitset word range it
+// covers during tick prep (the full lane in modeLocal; a slice of the
+// single lane in modeTick).
+type poolSpan struct {
+	sh     *shard
+	w0, w1 int
+}
+
+type poolCmd struct {
+	kind uint8
+	t    float64
+}
+
+const (
+	cmdPhase uint8 = iota + 1 // advance the lane to t (exclusive fence)
+	cmdPrep                   // tick prep over the span at time t
+)
+
+func newShardPool(s *sim, spans []poolSpan) *shardPool {
+	return &shardPool{s: s, spans: spans, cmds: make([]chan poolCmd, len(spans))}
+}
+
+func (p *shardPool) start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	for i := range p.cmds {
+		p.cmds[i] = make(chan poolCmd, 1)
+		go p.worker(i)
+	}
+}
+
+func (p *shardPool) stop() {
+	if !p.running {
+		return
+	}
+	p.running = false
+	for _, c := range p.cmds {
+		close(c)
+	}
+}
+
+// run executes one command on every worker and waits for all of them —
+// the epoch barrier. The channel send/receive pairs order each worker's
+// writes before the coordinator's reads and vice versa.
+func (p *shardPool) run(cmd poolCmd) {
+	p.wg.Add(len(p.cmds))
+	for _, c := range p.cmds {
+		c <- cmd
+	}
+	p.wg.Wait()
+}
+
+func (p *shardPool) worker(i int) {
+	for cmd := range p.cmds[i] {
+		switch cmd.kind {
+		case cmdPhase:
+			sh := p.spans[i].sh
+			sh.fenceSeq = sh.seq
+			for p.s.stepLane(sh, cmd.t) {
+			}
+		case cmdPrep:
+			sp := p.spans[i]
+			p.s.tickPrepRange(sp.sh, sp.w0, sp.w1, cmd.t)
+		}
+		p.wg.Done()
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"testing"
+
+	"insomnia/internal/dsl"
+	"insomnia/internal/topology"
+	"insomnia/internal/trace"
+)
+
+// runShards executes one config at a given shard count and returns the
+// result fingerprint (the same digest the golden corpus pins: every metric
+// including float bit patterns).
+func runShards(t *testing.T, cfg Config, shards int) string {
+	t.Helper()
+	cfg.Shards = shards
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint(res)
+}
+
+// TestShardDeterminism pins the tentpole contract: the sharded engine is
+// byte-identical to the serial engine at every shard count, for every
+// scheme family — full shard parallelism (NoSleep, SoI), parallel-tick
+// (BH2), and the serial-coupled coordinated schemes (Optimal, Centralized).
+func TestShardDeterminism(t *testing.T) {
+	tr, tp := smallScenario(t, 9)
+	schemes := []Scheme{NoSleep, SoI, SoIKSwitch, SoIFullSwitch, BH2KSwitch, Optimal, Centralized}
+	for _, sc := range schemes {
+		sc := sc
+		t.Run(sc.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Trace: tr, Topo: tp, Scheme: sc, Seed: 9, K: 2}
+			want := runShards(t, cfg, 0) // classic serial engine
+			for _, n := range []int{1, 2, 3, 8} {
+				if got := runShards(t, cfg, n); got != want {
+					t.Errorf("shards=%d diverges from serial: %s != %s", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardDeterminismRandomWake covers the forced mode downgrade: with
+// RandomWake the wake delays come from one shared stream in global event
+// order, so a modeLocal scheme must fall back to the serial event loop
+// (parallel tick only) and still match bit-for-bit.
+func TestShardDeterminismRandomWake(t *testing.T) {
+	tr, tp := smallScenario(t, 9)
+	cfg := Config{Trace: tr, Topo: tp, Scheme: SoI, Seed: 9, K: 2, RandomWake: true}
+	want := runShards(t, cfg, 0)
+	for _, n := range []int{2, 8} {
+		if got := runShards(t, cfg, n); got != want {
+			t.Errorf("shards=%d diverges from serial under RandomWake", n)
+		}
+	}
+}
+
+// cityScenario builds a reduced grid-city fixture: big enough that shard
+// lanes carry real concurrent work (128 gateways across a metro head-end),
+// small enough for the race detector to chew through on every push.
+func cityScenario(t *testing.T, seed int64) (*trace.Trace, *topology.Topology, dsl.DSLAM) {
+	t.Helper()
+	cfg := trace.DefaultCityConfig(seed)
+	cfg.Clients, cfg.APs, cfg.Duration = 512, 128, 900
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.GridCity(cfg.APs, topology.DefaultMeanInRange, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := topology.FromOverlap(g, tr.ClientAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, tp, dsl.DSLAM{Cards: 12, PortsPerCard: 12}
+}
+
+// TestShardedCity is the reduced city case the CI race job runs: a
+// multi-shard grid-city simulation under the schemes that actually exercise
+// the parallel paths (shard lanes + sink replay for SoI, parallel tick prep
+// for BH2), checked against the serial engine.
+func TestShardedCity(t *testing.T) {
+	tr, tp, shelf := cityScenario(t, 5)
+	for _, sc := range []Scheme{SoI, BH2KSwitch} {
+		sc := sc
+		t.Run(sc.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Trace: tr, Topo: tp, Scheme: sc, Seed: 5, DSLAM: shelf, K: 4}
+			want := runShards(t, cfg, 0)
+			for _, n := range []int{3, 4, 8} {
+				if got := runShards(t, cfg, n); got != want {
+					t.Errorf("shards=%d diverges from serial on grid city", n)
+				}
+			}
+		})
+	}
+}
+
+// shardedHandSim builds a hand-rolled sharded sim: four clients homed two
+// per gateway pair, keepalives every 5 s, two shard lanes.
+func shardedHandSim(t *testing.T, scheme Scheme, shards int) *sim {
+	t.Helper()
+	var keeps []trace.Packet
+	for ts := 10.0; ts < 3900; ts += 5 {
+		keeps = append(keeps, trace.Packet{T: ts, Client: int32(int(ts) % 4), Bytes: 100})
+	}
+	tr := &trace.Trace{
+		Cfg: trace.Config{
+			Clients: 4, APs: 2, Duration: 4000,
+			BackhaulBps: 6e6, UplinkBps: 512e3,
+		},
+		ClientAP:   []int{0, 0, 1, 1},
+		Keepalives: keeps,
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := &topology.Graph{Adj: [][]int{{1}, {0}}}
+	tp, err := topology.FromOverlap(g, tr.ClientAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Config{Trace: tr, Topo: tp, Scheme: scheme, Seed: 1, K: 2, Shards: shards}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestShardedStepSteadyStateAllocs pins the zero-allocation contract on the
+// sharded engine's epoch loop: once heaps, sink queues and estimator rings
+// have reached steady-state capacity, a full epoch — parallel shard phase,
+// sink replay, tick — allocates nothing. The pool's rendezvous is plain
+// channel values and a WaitGroup, so nothing on the barrier path allocates
+// either.
+func TestShardedStepSteadyStateAllocs(t *testing.T) {
+	s := shardedHandSim(t, SoI, 2)
+	if len(s.shards) != 2 {
+		t.Fatalf("expected 2 shard lanes, got %d", len(s.shards))
+	}
+	s.pool.start()
+	defer s.pool.stop()
+	for i := 0; i < 1000; i++ {
+		if !s.shardedStep() {
+			t.Fatal("trace exhausted during warm-up")
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.shardedStep()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sharded epoch allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestShardsExceedingGateways clamps: more shards than gateways must not
+// break (each lane simply gets at most one gateway).
+func TestShardsExceedingGateways(t *testing.T) {
+	tr, tp := smallScenario(t, 3)
+	cfg := Config{Trace: tr, Topo: tp, Scheme: SoI, Seed: 3, K: 2}
+	want := runShards(t, cfg, 0)
+	if got := runShards(t, cfg, 64); got != want {
+		t.Error("shards > gateways diverges from serial")
+	}
+}
+
+func TestNegativeShardsRejected(t *testing.T) {
+	tr, tp := smallScenario(t, 3)
+	if _, err := Run(Config{Trace: tr, Topo: tp, Scheme: SoI, Seed: 3, K: 2, Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}

@@ -105,6 +105,14 @@ type Config struct {
 	Seed        int64
 	SampleEvery float64 // metric sampling period (default 1 s)
 
+	// Shards is the engine shard count: >= 2 partitions the event engine
+	// by gateway across that many worker goroutines (see shard.go), 0 or 1
+	// runs the classic serial engine. Results are byte-identical at every
+	// value — schemes whose coupling forbids safe partitioning degrade to
+	// parallel-tick or serial execution automatically — so the knob trades
+	// wall-clock only, never fidelity.
+	Shards int
+
 	// DebugDecisions, when set, observes every BH2 decision (diagnostics
 	// and tests only).
 	DebugDecisions func(t float64, client int, views []bh2.GatewayView, d bh2.Decision)
@@ -159,6 +167,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.SampleEvery == 0 {
 		c.SampleEvery = 1
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("sim: negative shard count %d", c.Shards)
 	}
 	return c, nil
 }

@@ -74,35 +74,103 @@ type client struct {
 	pendingPos  int // index in the home gateway's pending list; -1 when absent
 }
 
+// sinkOp is one deferred switch-fabric side effect (a line going active or
+// inactive). The kswitch policy and the line-card devices are shared across
+// gateway shards but are pure sinks — nothing they compute feeds back into
+// gateway or client dynamics — so shards queue these ops locally and the
+// coordinator replays the merged queues in global time order at each epoch
+// barrier (see drainSinks), reproducing the serial call sequence exactly.
+type sinkOp struct {
+	t    float64
+	gw   int32
+	wake bool
+}
+
+// shard is one lane of the event engine: a contiguous range of gateways
+// [lo, hi) together with everything needed to advance them independently —
+// a private event heap and sequence counter, private cursors into the trace
+// streams, the awake bitset for its gateways and the deferred sink queue.
+//
+// The serial engine is the one-shard special case: a single lane covering
+// every gateway and every trace record (flowOrder/keepOrder nil), with sink
+// ops applied inline (deferSinks false). The sharded engine (shard.go) runs
+// S lanes plus a coordinator lane that carries only the globally-ordered
+// events (ticks, BH2 decisions, re-solves).
+type shard struct {
+	id     int
+	lo, hi int // gateway id range [lo, hi)
+
+	now float64
+	h   eventHeap
+	seq int64
+	// fenceSeq is the lane's seq counter snapshotted when the current
+	// epoch's phase began. A heap event at exactly the fence time still
+	// runs this phase iff it was pushed before the phase started —
+	// reproducing the serial heap's (t, seq) tie order against the
+	// coordinator event, whose push always precedes the phase (the tick
+	// for time K is pushed while handling the tick for K-1).
+	fenceSeq int64
+
+	// Trace cursors. When flowOrder/keepOrder are nil the lane consumes
+	// trace records directly (serial); otherwise they index the records
+	// whose client homes on this shard, in trace (= time) order.
+	flowIdx, keepIdx     int
+	flowOrder, keepOrder []int32
+
+	// Active-gateway set over [lo, hi): bit g-lo set while gateway g is
+	// outside Sleeping (as far as the event machinery knows). tick()
+	// iterates only set members, making sampling O(awake); sleeping
+	// devices integrate in closed form. awakeN counts set bits.
+	bits   []uint64
+	awakeN int
+
+	deferSinks bool
+	sinks      []sinkOp
+}
+
+// push assigns the lane's next sequence number and queues the event.
+func (sh *shard) push(e event) {
+	sh.seq++
+	e.seq = sh.seq
+	sh.h.push(e)
+}
+
 type sim struct {
 	cfg   Config
 	strat strategy
-	now   float64
+	now   float64 // main-lane clock (strategies and tick always run on main)
 	end   float64
-	h     eventHeap
-	seq   int64
 
-	gws     []*gateway
-	clients []*client
+	gws     []gateway
+	clients []client
 	policy  kswitch.Policy
 	cards   []*power.Device
 	cardOn  []bool
 	cardBuf []bool // reusable CardsAwakeInto scratch
 	shelf   *power.Device
 
-	// Active-gateway set: bit g set while gateway g is outside Sleeping
-	// (as far as the event machinery knows). tick() iterates only set
-	// members, making sampling O(awake) instead of O(all gateways);
-	// sleeping devices integrate in closed form (they draw
-	// power.SleepWatts). awakeN counts set bits.
-	awakeBits []uint64
-	awakeN    int
+	// Engine lanes. shards hold the gateway-owning lanes (length 1 unless
+	// the run is modeLocal with Config.Shards >= 2); main is the lane
+	// strategy code, ticks and the serial driver execute on — &shards[0]
+	// in single-lane runs, the coordinator lane co in sharded ones.
+	shards  []shard
+	co      shard
+	main    *shard
+	gwShard []int32 // gateway -> owning shard index; nil when single-lane
+	mode    engineMode
+	pool    *shardPool
+	sinkIdx []int // drainSinks merge cursors (reused across epochs)
+
+	// needDemand gates the per-client demand accounting (clientBytes):
+	// only the coordinated schemes ever read it (demandInstance), so the
+	// hot transport path skips the accumulation — and the parallel tick
+	// never writes shared state — for every other scheme.
+	needDemand bool
+
 	tickCount int64   // ticks fired so far
 	lastTickT float64 // time of the most recent tick
 
-	flows   []flowState
-	flowIdx int // next trace flow
-	keepIdx int // next trace keepalive
+	flows []flowState
 
 	// Optimal bookkeeping.
 	clientBytes []float64
@@ -133,8 +201,8 @@ func newSim(cfg Config) (*sim, error) {
 
 	s := &sim{
 		cfg: cfg, strat: strat, end: end,
-		gws:         make([]*gateway, nGW),
-		clients:     make([]*client, nCl),
+		gws:         make([]gateway, nGW),
+		clients:     make([]client, nCl),
 		cards:       make([]*power.Device, cfg.DSLAM.Cards),
 		cardOn:      make([]bool, cfg.DSLAM.Cards),
 		clientBytes: make([]float64, nCl),
@@ -147,6 +215,14 @@ func newSim(cfg Config) (*sim, error) {
 	for c := range s.lastTraffic {
 		s.lastTraffic[c] = math.Inf(-1)
 	}
+	s.mode = strat.parallelMode()
+	if cfg.RandomWake && s.mode == modeLocal {
+		// RandomWake draws every wake delay from one shared stream in
+		// global event order; shard-local wakes would reorder the draws.
+		// The parallel-tick mode keeps the event loop serial.
+		s.mode = modeTick
+	}
+	s.needDemand = strat.usesDemand()
 
 	bins := int(end / cfg.SampleEvery)
 	s.powerTS = stats.NewTimeSeries(0, end, bins)
@@ -167,7 +243,7 @@ func newSim(cfg Config) (*sim, error) {
 		// discard older samples instead of growing one sample per tick for
 		// the whole run.
 		est.MaxAgeSec = cfg.BH2.EstWindow
-		s.gws[g] = &gateway{
+		s.gws[g] = gateway{
 			id:       g,
 			ctl:      soi.New(dev, idle, wake, 0),
 			modem:    power.NewDevice(fmt.Sprintf("modem%d", g), power.ISPModemWatts, initState, 0),
@@ -177,15 +253,9 @@ func newSim(cfg Config) (*sim, error) {
 		}
 	}
 	for c := 0; c < nCl; c++ {
-		s.clients[c] = &client{home: cfg.Topo.HomeOf[c], assigned: cfg.Topo.HomeOf[c], pendingPos: -1}
+		s.clients[c] = client{home: cfg.Topo.HomeOf[c], assigned: cfg.Topo.HomeOf[c], pendingPos: -1}
 	}
-	s.awakeBits = make([]uint64, (nGW+63)/64)
-	if initState != power.Sleeping {
-		for g := 0; g < nGW; g++ {
-			s.awakeBits[g>>6] |= 1 << (uint(g) & 63)
-		}
-		s.awakeN = nGW
-	}
+	s.buildLanes(initState != power.Sleeping)
 
 	if s.policy, err = strat.newPolicy(cfg); err != nil {
 		return nil, err
@@ -197,14 +267,12 @@ func newSim(cfg Config) (*sim, error) {
 	s.shelf = power.NewDevice("shelf", power.ShelfWatts, power.On, 0)
 	strat.postInit(s)
 
-	// Seed periodic events.
+	// Seed periodic events (always on the main lane: ticks, decisions and
+	// re-solves carry global order).
 	s.push(event{t: 0, kind: evTick})
 	strat.seedEvents(s)
 	return s, nil
 }
 
-func (s *sim) push(e event) {
-	s.seq++
-	e.seq = s.seq
-	s.h.push(e)
-}
+// push queues an event on the main lane.
+func (s *sim) push(e event) { s.main.push(e) }
