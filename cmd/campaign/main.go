@@ -133,6 +133,15 @@ func cmdRun(args []string) {
 	}
 	log.Printf("%s: %d cells (%d simulated, %d resumed), %d artifact(s) in %s",
 		plan.Spec.Name, len(res.Rows), res.Ran, res.Skipped, len(res.Artifacts), *out)
+	if len(res.Failed) > 0 {
+		// Failed cells (each already retried once) are recorded in the
+		// manifest; `campaign run -resume` re-executes exactly these.
+		log.Printf("%d cell(s) failed:", len(res.Failed))
+		for _, key := range res.Failed {
+			log.Printf("  FAILED %s", key)
+		}
+		os.Exit(1)
+	}
 }
 
 func cmdCheck(args []string) {

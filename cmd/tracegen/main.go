@@ -1,10 +1,14 @@
 // Command tracegen generates a synthetic access-network trace and either
-// stores it (binary or CSV) or prints its Fig 2/3/4 statistics.
+// stores it (binary or CSV) or prints its Fig 2/3/4 statistics. With
+// -adversarial it instead hill-climbs a worst-case keepalive trace
+// against a named scheme's wakeup count.
 //
 // Usage:
 //
 //	tracegen -profile office|sim|residential [-seed 1] [-clients N] [-aps N]
 //	         [-o trace.bin] [-csv flows.csv] [-stats]
+//	tracegen -adversarial SoI [-clients N] [-aps N] [-duration 3600]
+//	         [-iters 100] [-seed 1] [-o trace.bin]
 package main
 
 import (
@@ -13,6 +17,9 @@ import (
 	"log"
 	"os"
 
+	"insomnia/internal/campaign"
+	"insomnia/internal/sim"
+	"insomnia/internal/topology"
 	"insomnia/internal/trace"
 )
 
@@ -26,7 +33,15 @@ func main() {
 	out := flag.String("o", "", "write binary trace to this path")
 	csvPath := flag.String("csv", "", "write flow CSV to this path")
 	showStats := flag.Bool("stats", true, "print trace statistics")
+	adversarial := flag.String("adversarial", "", "search a worst-case keepalive trace against this scheme (canonical name, e.g. SoI)")
+	iters := flag.Int("iters", 100, "adversarial hill-climb iterations")
+	duration := flag.Float64("duration", 3600, "adversarial trace duration in seconds")
 	flag.Parse()
+
+	if *adversarial != "" {
+		runAdversarial(*adversarial, *clients, *aps, *seed, *duration, *iters, *out)
+		return
+	}
 
 	var cfg trace.Config
 	switch *profile {
@@ -93,4 +108,64 @@ func main() {
 	h := tr.GapHistogram(16*3600, 17*3600)
 	fmt.Printf("\npeak-hour idle-gap structure: %.1f%% of idle time in gaps < 60 s (paper: >80%%)\n",
 		h.FractionBelow(60)*100)
+}
+
+// runAdversarial hill-climbs keepalive schedules against the named
+// scheme's wakeup count and reports (and optionally stores) the worst
+// case found.
+func runAdversarial(scheme string, clients, aps int, seed int64, duration float64, iters int, out string) {
+	sc, err := campaign.SchemeByName(scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if clients == 0 {
+		clients = 48
+	}
+	if aps == 0 {
+		aps = 8
+	}
+	acfg := trace.AdversaryConfig{
+		Clients: clients, APs: aps, Duration: duration, Seed: seed, Iters: iters,
+	}
+	// Client placement is identical for every candidate pattern, so one
+	// topology serves the whole search.
+	var tp *topology.Topology
+	score := func(tr *trace.Trace) float64 {
+		if tp == nil {
+			g, err := topology.OverlapGraph(aps, topology.DefaultMeanInRange, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if tp, err = topology.FromOverlap(g, tr.ClientAP); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := sim.Run(sim.Config{Trace: tr, Topo: tp, Scheme: sc, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return float64(res.Wakeups)
+	}
+	a, err := trace.SearchAdversarial(acfg, score)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adversarial search vs %s: %d clients / %d gateways / %.0f s, %d iterations\n",
+		sc, clients, aps, duration, iters)
+	fmt.Printf("wakeups: %.0f (random seed pattern) -> %.0f (worst case found, %+.1f%%)\n",
+		a.Initial, a.Score, (a.Score/a.Initial-1)*100)
+	fmt.Printf("keepalives in worst-case trace: %d\n", len(a.Trace.Keepalives))
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := a.Trace.WriteBinary(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", out)
+	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"insomnia/internal/dsl"
 	"insomnia/internal/sim"
+	"insomnia/internal/stats"
 	"insomnia/internal/topology"
 	"insomnia/internal/trace"
 )
@@ -256,12 +257,53 @@ func shelf(sp dsl.Spec) dsl.DSLAM {
 
 // simConfig assembles the sim.Config of one cell over its fixture.
 func simConfig(v dsl.Spec, f *fixture, c Cell) sim.Config {
-	return sim.Config{
+	cfg := sim.Config{
 		Trace: f.tr, Topo: f.tp,
 		Scheme: c.Scheme, Seed: c.Seed,
 		DSLAM: shelf(v), K: v.K,
 		IdleTimeout: v.IdleTimeout,
 	}
+	if v.Failures != nil {
+		cfg.Failures = failurePlan(v, c.Seed)
+	}
+	return cfg
+}
+
+// failurePlan expands the spec's failures block into one cell's concrete
+// schedule. The gateways a crash hits and the area an outage covers are
+// drawn from the seed (stream 0xfa17) — not from the scheme — so every
+// scheme of a (variant, seed) row faces the identical failure schedule
+// and their robustness metrics are directly comparable, while different
+// seeds explore different placements.
+func failurePlan(v dsl.Spec, seed int64) sim.FailurePlan {
+	f := v.Failures
+	nGW := v.Trace.Gateways
+	r := stats.NewRNG(seed, 0xfa17)
+	plan := sim.FailurePlan{RebootMeanSec: f.RebootMean, RebootSigma: f.RebootSigma}
+	for _, c := range f.Crashes {
+		n := c.Count
+		if n > nGW {
+			n = nGW
+		}
+		for _, gw := range r.Perm(nGW)[:n] {
+			plan.Crashes = append(plan.Crashes, sim.GatewayCrash{At: c.At, Gateway: gw, RebootSec: c.Reboot})
+		}
+	}
+	for _, o := range f.Outages {
+		width := int(math.Round(o.Frac * float64(nGW)))
+		if width < 1 {
+			width = 1
+		}
+		if width > nGW {
+			width = nGW
+		}
+		from := r.Intn(nGW - width + 1)
+		plan.Outages = append(plan.Outages, sim.OutageWindow{
+			Start: o.Start, DurationSec: o.Duration,
+			FromGW: from, ToGW: from + width,
+		})
+	}
+	return plan
 }
 
 // Row is one cell's reduced result — everything the artifacts need, small
@@ -280,6 +322,13 @@ type Row struct {
 	FCTP50        float64   `json:"fct_p50"`
 	FCTP95        float64   `json:"fct_p95"`
 	PowerHourly   []float64 `json:"power_hourly,omitempty"`
+
+	// Robustness metrics of failure-injection campaigns. A nil
+	// Availability marks a failure-free cell (the omitempty trio keeps
+	// failure-free manifest rows byte-identical to pre-failure ones).
+	StrandedS    float64  `json:"stranded_s,omitempty"`
+	Reconnects   int      `json:"reconnects,omitempty"`
+	Availability *float64 `json:"availability,omitempty"`
 }
 
 // reduce summarizes one simulation result into its manifest row.
@@ -301,6 +350,12 @@ func reduce(c Cell, duration float64, res *sim.Result, withPower bool) Row {
 	hours := duration / 3600
 	row.MeanOnlineGWs = round6(sim.MeanOver(res.OnlineGWs, 0, hours))
 	row.FCTP50, row.FCTP95 = fctPercentiles(res.FCT)
+	if res.GatewayDownTime != nil {
+		row.StrandedS = round6(res.StrandedSeconds)
+		row.Reconnects = res.Reconnects
+		a := round6(res.Availability)
+		row.Availability = &a
+	}
 	if withPower {
 		n := int(math.Ceil(hours))
 		for h := 0; h < n; h++ {

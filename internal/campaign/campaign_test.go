@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"insomnia/internal/dsl"
@@ -269,6 +270,220 @@ func TestRunRefusesForeignManifest(t *testing.T) {
 	}
 	if _, err := p2.Run(Options{Workers: 2, OutDir: dir, Resume: true}); err == nil || !strings.Contains(err.Error(), "different spec") {
 		t.Errorf("resume with changed spec should refuse, got %v", err)
+	}
+}
+
+// failureSpec is testSpec without the sweep plus a failures block: one
+// crash and one outage over the 1-hour office scenario.
+const failureSpec = `
+name: unit-failures
+schemes: [no-sleep, SoI, BH2+k-switch]
+seeds: [1, 2]
+duration: 3600
+k: 2
+trace:
+  profile: office
+  clients: 48
+  gateways: 8
+topology:
+  kind: overlap
+  mean_in_range: 5
+failures:
+  reboot_mean: 120
+  crashes:
+    - at: 600
+      count: 2
+  outages:
+    - start: 1800
+      duration: 300
+      frac: 0.5
+outputs: [summary, json]
+`
+
+func compileFailurePlan(t *testing.T) *Plan {
+	t.Helper()
+	spec, err := dsl.ParseSpec([]byte(failureSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFailurePlanExpansion pins the seed-derived placement: the drawn
+// gateways depend on the seed only, stay in range, and the same seed
+// always draws the same schedule (so every scheme of a row shares it).
+func TestFailurePlanExpansion(t *testing.T) {
+	p := compileFailurePlan(t)
+	v := p.variants[0].spec
+	a, b := failurePlan(v, 1), failurePlan(v, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("failure plan must be deterministic per seed")
+	}
+	if len(a.Crashes) != 2 {
+		t.Fatalf("count: 2 must expand to 2 crashes, got %d", len(a.Crashes))
+	}
+	if a.Crashes[0].Gateway == a.Crashes[1].Gateway {
+		t.Error("one crash spec must hit distinct gateways")
+	}
+	if len(a.Outages) != 1 {
+		t.Fatalf("got %d outages", len(a.Outages))
+	}
+	o := a.Outages[0]
+	if o.FromGW < 0 || o.ToGW > 8 || o.ToGW-o.FromGW != 4 {
+		t.Errorf("frac 0.5 of 8 gateways must cover a 4-wide in-range block, got [%d,%d)", o.FromGW, o.ToGW)
+	}
+	if a.RebootMeanSec != 120 || a.RebootSigma != 0.5 {
+		t.Errorf("reboot distribution not forwarded: %+v", a)
+	}
+	other := failurePlan(v, 2)
+	if reflect.DeepEqual(a.Crashes, other.Crashes) && reflect.DeepEqual(a.Outages, other.Outages) {
+		t.Error("different seeds should explore different placements")
+	}
+}
+
+// TestFailureCampaignDeterministic runs the failure campaign serially and
+// with 4 workers; artifacts must be byte-identical and carry the
+// robustness columns.
+func TestFailureCampaignDeterministic(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	if _, err := compileFailurePlan(t).Run(Options{Workers: 1, OutDir: a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compileFailurePlan(t).Run(Options{Workers: 4, Shards: 2, OutDir: b}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"summary.csv", "results.json"} {
+		fa, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := os.ReadFile(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(fa) != string(fb) {
+			t.Errorf("%s differs between 1 worker/serial and 4 workers/2 shards", name)
+		}
+	}
+	sum, err := os.ReadFile(filepath.Join(a, "summary.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sum), "availability") {
+		t.Error("summary.csv missing robustness columns")
+	}
+	// Every data row of a failure campaign carries a non-blank availability.
+	for _, row := range strings.Split(strings.TrimSpace(string(sum)), "\n")[1:] {
+		cols := strings.Split(row, ",")
+		if cols[len(cols)-1] == "" {
+			t.Errorf("failure-campaign row missing availability: %q", row)
+		}
+	}
+}
+
+// TestCampaignPanicRecovery injects a panic into one scheme's first
+// execution: the cell must be recorded as failed in the manifest, retried
+// once (succeeding), and the artifacts must match an uninjected run.
+func TestCampaignPanicRecovery(t *testing.T) {
+	var mu sync.Mutex
+	panicked := 0
+	exec := func(cfg sim.Config) (*sim.Result, error) {
+		mu.Lock()
+		first := cfg.Scheme == sim.SoI && panicked == 0
+		if first {
+			panicked++
+		}
+		mu.Unlock()
+		if first {
+			panic("injected cell failure")
+		}
+		return sim.Run(cfg)
+	}
+	dir, clean := t.TempDir(), t.TempDir()
+	r, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir, exec: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Failed) != 0 {
+		t.Fatalf("retry should have recovered the panicked cell, failed: %v", r.Failed)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(r.Rows))
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(manifest), "injected cell failure") {
+		t.Error("manifest does not record the panic")
+	}
+	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: clean}); err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := readArtifacts(t, dir), readArtifacts(t, clean)
+	for name := range fa {
+		if fa[name] != fb[name] {
+			t.Errorf("%s differs between panicked-and-retried and clean runs", name)
+		}
+	}
+}
+
+// TestCampaignPersistentFailure poisons one scheme permanently: the cells
+// fail twice, surface in RunResult.Failed and results.json, the other
+// cells still produce rows — and a resume with the poison lifted heals
+// the campaign to a byte-identical artifact set.
+func TestCampaignPersistentFailure(t *testing.T) {
+	poison := func(cfg sim.Config) (*sim.Result, error) {
+		if cfg.Scheme == sim.SoI {
+			panic("SoI is poisoned")
+		}
+		return sim.Run(cfg)
+	}
+	dir := t.TempDir()
+	r, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir, exec: poison})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Failed) != 4 { // SoI x 2 seeds x 2 sweep values
+		t.Fatalf("failed cells: %v, want the 4 SoI cells", r.Failed)
+	}
+	for _, key := range r.Failed {
+		if !strings.Contains(key, "SoI") {
+			t.Errorf("unexpected failed cell %s", key)
+		}
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d successful rows, want 4", len(r.Rows))
+	}
+	results, err := os.ReadFile(filepath.Join(dir, "results.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(results), `"failed"`) {
+		t.Error("results.json does not surface the failed cells")
+	}
+	// Resume without the poison: only the failed cells re-run, and the
+	// artifacts now match a never-poisoned campaign.
+	r2, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Skipped != 4 || r2.Ran != 4 || len(r2.Failed) != 0 {
+		t.Fatalf("resume skipped %d ran %d failed %v, want 4/4/none", r2.Skipped, r2.Ran, r2.Failed)
+	}
+	clean := t.TempDir()
+	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: clean}); err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := readArtifacts(t, dir), readArtifacts(t, clean)
+	for name := range fa {
+		if fa[name] != fb[name] {
+			t.Errorf("%s differs between healed and clean runs", name)
+		}
 	}
 }
 

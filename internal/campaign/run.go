@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 
 	"insomnia/internal/figures"
@@ -33,19 +34,25 @@ type Options struct {
 	// OutDir receives the manifest and artifacts. Required.
 	OutDir string
 	// Resume skips cells already recorded in OutDir's manifest (from an
-	// interrupted earlier run of the same spec). Without Resume an
-	// existing manifest is an error — a campaign does not silently
-	// overwrite another's checkpoint.
+	// interrupted earlier run of the same spec). Cells whose latest
+	// manifest entry is an error are re-executed, not skipped. Without
+	// Resume an existing manifest is an error — a campaign does not
+	// silently overwrite another's checkpoint.
 	Resume bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// exec overrides how each cell's simulation runs (runner.Runner.Exec);
+	// nil means sim.Run. Test seam for fault injection.
+	exec func(sim.Config) (*sim.Result, error)
 }
 
 // RunResult reports what a campaign execution did.
 type RunResult struct {
-	Rows      []Row    // one per cell, in cell enumeration order
+	Rows      []Row    // one per successful cell, in cell enumeration order
 	Ran       int      // cells simulated in this execution
 	Skipped   int      // cells restored from the manifest
+	Failed    []string // cell keys that failed even after the retry, in cell order
 	Artifacts []string // files written under OutDir
 }
 
@@ -56,10 +63,15 @@ type manifestHeader struct {
 	Version  int    `json:"version"`
 }
 
-// manifestEntry is one completed cell.
+// manifestEntry is one completed cell attempt: a reduced row on success,
+// an error (panic value or sim error, stack included) on failure. A later
+// entry for the same key supersedes an earlier one, so a retried cell's
+// success line wins over its failure line and a cell whose latest entry
+// is an error is re-executed on resume.
 type manifestEntry struct {
-	Key string `json:"key"`
-	Row Row    `json:"row"`
+	Key   string `json:"key"`
+	Row   *Row   `json:"row,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // Run executes the plan: it restores completed cells from the manifest
@@ -104,8 +116,10 @@ func (p *Plan) Run(opts Options) (*RunResult, error) {
 	logf("campaign %s: %d cells (%d cached, %d to run), %d variant(s)",
 		p.Spec.Name, len(p.Cells), res.Skipped, res.Ran, len(p.variants))
 
+	failed := map[string]string{}
 	if len(pending) > 0 {
-		if err := p.runPending(pending, done, manifestPath, opts, logf); err != nil {
+		var err error
+		if failed, err = p.runPending(pending, done, manifestPath, opts, logf); err != nil {
 			return nil, err
 		}
 	}
@@ -113,11 +127,18 @@ func (p *Plan) Run(opts Options) (*RunResult, error) {
 	for _, c := range p.Cells {
 		row, ok := done[c.Key()]
 		if !ok {
+			if _, isFailed := failed[c.Key()]; isFailed {
+				res.Failed = append(res.Failed, c.Key())
+				continue
+			}
 			return nil, fmt.Errorf("campaign: cell %s missing after run", c.Key())
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	arts, err := p.writeArtifacts(opts.OutDir, res.Rows)
+	if len(res.Failed) > 0 {
+		logf("%d cell(s) failed after retry: %s", len(res.Failed), strings.Join(res.Failed, ", "))
+	}
+	arts, err := p.writeArtifacts(opts.OutDir, res.Rows, res.Failed)
 	if err != nil {
 		return nil, err
 	}
@@ -130,8 +151,10 @@ func (p *Plan) Run(opts Options) (*RunResult, error) {
 
 // runPending generates the fixtures the pending cells need, simulates
 // them on the worker pool and appends each completed cell-order prefix to
-// the manifest.
-func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath string, opts Options, logf func(string, ...any)) error {
+// the manifest. Cells whose simulation fails (error or recovered panic)
+// are recorded in the manifest and retried once; the cells still failing
+// after the retry come back in the returned map.
+func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath string, opts Options, logf func(string, ...any)) (map[string]string, error) {
 	// Generate the fixtures the pending cells need, in parallel: fixture
 	// generation is deterministic per (variant, seed) and independent, so
 	// the worker pool does not have to idle behind serial trace synthesis.
@@ -175,13 +198,13 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 
 	mf, err := openManifest(manifestPath, p, len(done) > 0)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer mf.Close()
 
@@ -195,30 +218,78 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 	withPower := p.Spec.HasOutput("power")
 	enc := json.NewEncoder(mf)
 	var emitErr error
-	outs := (runner.Runner{Workers: opts.Workers}).RunStream(jobs, func(i int, o runner.Outcome) {
-		if o.Err != nil || emitErr != nil {
-			return
+	// emit checkpoints one outcome: a row entry on success, an error entry
+	// on failure (so an interrupted run re-executes the cell on resume).
+	emit := func(c Cell, o runner.Outcome) bool {
+		if emitErr != nil {
+			return false
 		}
-		c := pending[i]
-		row := reduce(c, p.variants[c.variant].spec.Duration, o.Result, withPower)
-		done[c.Key()] = row
-		if err := enc.Encode(manifestEntry{Key: c.Key(), Row: row}); err != nil {
+		e := manifestEntry{Key: c.Key()}
+		if o.Err != nil {
+			e.Error = o.Err.Error()
+		} else {
+			row := reduce(c, p.variants[c.variant].spec.Duration, o.Result, withPower)
+			done[c.Key()] = row
+			e.Row = &row
+		}
+		if err := enc.Encode(e); err != nil {
 			emitErr = err
-			return
+			return false
 		}
 		if err := mf.Flush(); err != nil {
 			emitErr = err
+			return false
+		}
+		return o.Err == nil
+	}
+	pool := runner.Runner{Workers: opts.Workers, Exec: opts.exec}
+	var failedIdx []int
+	pool.RunStream(jobs, func(i int, o runner.Outcome) {
+		c := pending[i]
+		if !emit(c, o) {
+			if o.Err != nil && emitErr == nil {
+				failedIdx = append(failedIdx, i)
+				logf("  [%d/%d] %s FAILED: %s", len(done), len(p.Cells), c.Key(), firstLine(o.Err.Error()))
+			}
 			return
 		}
 		logf("  [%d/%d] %s", len(done), len(p.Cells), c.Key())
 	})
-	if err := runner.FirstErr(outs); err != nil {
-		return err
-	}
 	if emitErr != nil {
-		return fmt.Errorf("campaign: checkpoint: %w", emitErr)
+		return nil, fmt.Errorf("campaign: checkpoint: %w", emitErr)
 	}
-	return mf.Sync()
+	// One retry for the failed cells: transient faults (a poisoned worker,
+	// an OOM-killed shard) get a second chance; deterministic failures fail
+	// again and are surfaced instead of aborting the whole campaign.
+	failed := map[string]string{}
+	if len(failedIdx) > 0 {
+		logf("retrying %d failed cell(s)...", len(failedIdx))
+		retry := make([]runner.Job, len(failedIdx))
+		for ri, i := range failedIdx {
+			retry[ri] = jobs[i]
+		}
+		pool.RunStream(retry, func(ri int, o runner.Outcome) {
+			c := pending[failedIdx[ri]]
+			if emit(c, o) {
+				logf("  [%d/%d] %s (retry)", len(done), len(p.Cells), c.Key())
+			} else if o.Err != nil && emitErr == nil {
+				failed[c.Key()] = o.Err.Error()
+			}
+		})
+		if emitErr != nil {
+			return nil, fmt.Errorf("campaign: checkpoint: %w", emitErr)
+		}
+	}
+	return failed, mf.Sync()
+}
+
+// firstLine truncates an error to its first line: the deterministic part
+// of a recovered panic (the stack below varies by goroutine).
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // engineShards resolves one simulation's engine shard count: an explicit
@@ -340,7 +411,13 @@ func readManifest(path, wantHash string) (map[string]Row, error) {
 			pendingErr = fmt.Errorf("campaign: %s: corrupt manifest entry: %w", path, err)
 			continue
 		}
-		done[e.Key] = e.Row
+		// Entries apply in file order: a failure entry voids any earlier
+		// success (the cell re-runs), a retried cell's success wins back.
+		if e.Row == nil {
+			delete(done, e.Key)
+			continue
+		}
+		done[e.Key] = *e.Row
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -350,7 +427,7 @@ func readManifest(path, wantHash string) (map[string]Row, error) {
 
 // writeArtifacts renders the requested artifacts from the full row set,
 // in cell order. All output is deterministic text.
-func (p *Plan) writeArtifacts(dir string, rows []Row) ([]string, error) {
+func (p *Plan) writeArtifacts(dir string, rows []Row, failed []string) ([]string, error) {
 	var arts []string
 	write := func(name string, fn func(io.Writer) error) error {
 		path := filepath.Join(dir, name)
@@ -374,7 +451,7 @@ func (p *Plan) writeArtifacts(dir string, rows []Row) ([]string, error) {
 		}
 	}
 	if p.Spec.HasOutput("json") {
-		if err := write("results.json", func(w io.Writer) error { return p.writeResultsJSON(w, rows) }); err != nil {
+		if err := write("results.json", func(w io.Writer) error { return p.writeResultsJSON(w, rows, failed) }); err != nil {
 			return nil, err
 		}
 	}
@@ -401,6 +478,7 @@ func writeSummaryCSV(w io.Writer, rows []Row) error {
 	if err := cw.Write([]string{
 		"scenario", "scheme", "seed", "energy_kwh", "user_kwh", "isp_kwh",
 		"savings_pct", "wakeups", "moves", "resolves", "mean_online_gws", "fct_p50_s", "fct_p95_s",
+		"stranded_s", "reconnects", "availability",
 	}); err != nil {
 		return err
 	}
@@ -409,11 +487,20 @@ func writeSummaryCSV(w io.Writer, rows []Row) error {
 		if b, ok := base[r.Scenario+"|"+strconv.FormatInt(r.Seed, 10)]; ok && b > 0 {
 			savings = fmtF(round6((1 - r.EnergyKWh/b) * 100))
 		}
+		// Robustness columns stay blank for failure-free cells, like the
+		// savings column does for campaigns without a baseline.
+		stranded, reconn, avail := "", "", ""
+		if r.Availability != nil {
+			stranded = fmtF(r.StrandedS)
+			reconn = strconv.Itoa(r.Reconnects)
+			avail = fmtF(*r.Availability)
+		}
 		rec := []string{
 			r.Scenario, r.Scheme, strconv.FormatInt(r.Seed, 10),
 			fmtF(r.EnergyKWh), fmtF(r.UserKWh), fmtF(r.ISPKWh), savings,
 			strconv.Itoa(r.Wakeups), strconv.Itoa(r.Moves), strconv.Itoa(r.Resolves),
 			fmtF(r.MeanOnlineGWs), fmtF(r.FCTP50), fmtF(r.FCTP95),
+			stranded, reconn, avail,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -426,13 +513,14 @@ func writeSummaryCSV(w io.Writer, rows []Row) error {
 // resultsJSON is the deterministic results.json shape. No timestamps: two
 // runs of the same spec must produce identical bytes.
 type resultsJSON struct {
-	Campaign string `json:"campaign"`
-	Hash     string `json:"hash"`
-	Cells    int    `json:"cells"`
-	Rows     []Row  `json:"rows"`
+	Campaign string   `json:"campaign"`
+	Hash     string   `json:"hash"`
+	Cells    int      `json:"cells"`
+	Failed   []string `json:"failed,omitempty"` // cells with no result after the retry
+	Rows     []Row    `json:"rows"`
 }
 
-func (p *Plan) writeResultsJSON(w io.Writer, rows []Row) error {
+func (p *Plan) writeResultsJSON(w io.Writer, rows []Row, failed []string) error {
 	// Strip the bulky hourly series from the JSON rows; it has its own
 	// artifact (power.csv) when requested.
 	slim := make([]Row, len(rows))
@@ -442,7 +530,7 @@ func (p *Plan) writeResultsJSON(w io.Writer, rows []Row) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(resultsJSON{Campaign: p.Spec.Name, Hash: p.Hash, Cells: len(rows), Rows: slim})
+	return enc.Encode(resultsJSON{Campaign: p.Spec.Name, Hash: p.Hash, Cells: len(rows), Failed: failed, Rows: slim})
 }
 
 // writePowerCSV renders every cell's hourly mean power as one series

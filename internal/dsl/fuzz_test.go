@@ -1,0 +1,43 @@
+package dsl
+
+import "testing"
+
+// FuzzParseSpec drives arbitrary bytes through the YAML-subset parser,
+// the JSON decoding, and spec validation. The contract under fuzz is
+// simple: malformed input must come back as an error, never a panic, and
+// any input accepted as a Spec must survive Hash() (i.e. normalize to a
+// marshalable value). CI runs a short -fuzz smoke on every push; longer
+// local runs with `go test -fuzz FuzzParseSpec ./internal/dsl` extend
+// the corpus.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		specYAML,
+		`{"schemes": ["SoI"], "trace": {"profile": "office", "clients": 50, "gateways": 10}}`,
+		"schemes: [SoI]\ntrace:\n  profile: office\n  clients: 10\n  gateways: 2\nfailures:\n  reboot_mean: 120\n  crashes:\n    - at: 100\n      count: 2\n  outages:\n    - start: 300\n      duration: 60\n      frac: 0.5\n",
+		// Malformed inputs steer the fuzzer toward each error path.
+		"a:\n\tb: 1",            // tab
+		"a: [1, 2",              // unterminated flow sequence
+		`a: "oops`,              // unterminated string
+		"---\na: 1",             // multi-document
+		"a: 1\n  b: 2",          // stray indent
+		"a: &x 1",               // anchor
+		"- 1\n- 2",              // top-level sequence, not a mapping
+		"failures:\n  crashes:", // incomplete failures block
+		"schemes: [SoI]\ntrace:\n  profile: office\n  clients: 10\n  gateways: 2\nfailures:\n  crashes:\n    - at: -5\n",
+		"{\"schemes\": [",   // truncated JSON
+		"\x00\xff\xfe",      // binary junk
+		"duration: 1e99999", // float overflow
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data) // must return an error, never panic
+		if err != nil {
+			return
+		}
+		if s.Hash() == "" { // accepted specs must hash
+			t.Errorf("valid spec produced empty hash: %q", data)
+		}
+	})
+}

@@ -80,6 +80,14 @@ type Spec struct {
 	Topology TopoSpec  `json:"topology,omitempty"`
 	Shelf    ShelfSpec `json:"dslam,omitempty"`
 
+	// Failures injects deterministic gateway crashes and area power outages
+	// into every cell (nil: none). The concrete gateways and reboot times
+	// are drawn per seed by the campaign layer, so every scheme in a cell
+	// row faces the identical failure schedule. A pointer with omitempty
+	// keeps failure-free spec hashes — and their resumable manifests —
+	// unchanged.
+	Failures *FailureSpec `json:"failures,omitempty"`
+
 	// Sweeps expand the campaign into the cross-product of their values;
 	// each combination becomes one scenario variant.
 	Sweeps []Sweep `json:"sweeps,omitempty"`
@@ -146,6 +154,83 @@ type Sweep struct {
 	Values []float64 `json:"values"`
 }
 
+// FailureSpec is the `failures:` block: crash schedules and outage windows,
+// plus the reboot-time distribution shared by both.
+type FailureSpec struct {
+	// RebootMean/RebootSigma parameterize the lognormal reboot-time
+	// distribution (seconds; defaults 300 and 0.5).
+	RebootMean  float64 `json:"reboot_mean,omitempty"`
+	RebootSigma float64 `json:"reboot_sigma,omitempty"`
+
+	Crashes []CrashSpec  `json:"crashes,omitempty"`
+	Outages []OutageSpec `json:"outages,omitempty"`
+}
+
+// CrashSpec fails Count gateways (default 1), chosen per seed, at time At;
+// each reboots after Reboot seconds (0: drawn from the distribution).
+type CrashSpec struct {
+	At     float64 `json:"at"`
+	Count  int     `json:"count,omitempty"`
+	Reboot float64 `json:"reboot,omitempty"`
+}
+
+// OutageSpec cuts power to a contiguous area covering Frac of the gateways
+// (default 0.25), placed per seed, over [Start, Start+Duration).
+type OutageSpec struct {
+	Start    float64 `json:"start"`
+	Duration float64 `json:"duration"`
+	Frac     float64 `json:"frac,omitempty"`
+}
+
+func (f *FailureSpec) normalize(duration float64) error {
+	if f.RebootMean == 0 {
+		f.RebootMean = 300
+	}
+	if f.RebootSigma == 0 {
+		f.RebootSigma = 0.5
+	}
+	if f.RebootMean < 0 || math.IsNaN(f.RebootMean) {
+		return fmt.Errorf("dsl: failures reboot_mean %v must be positive", f.RebootMean)
+	}
+	if f.RebootSigma < 0 || math.IsNaN(f.RebootSigma) {
+		return fmt.Errorf("dsl: failures reboot_sigma %v must be non-negative", f.RebootSigma)
+	}
+	if len(f.Crashes) == 0 && len(f.Outages) == 0 {
+		return fmt.Errorf("dsl: failures block needs at least one crash or outage")
+	}
+	for i := range f.Crashes {
+		c := &f.Crashes[i]
+		if c.At < 0 || math.IsNaN(c.At) || c.At >= duration {
+			return fmt.Errorf("dsl: crash %d at %v outside [0, %v)", i, c.At, duration)
+		}
+		if c.Count == 0 {
+			c.Count = 1
+		}
+		if c.Count < 0 {
+			return fmt.Errorf("dsl: crash %d has negative count %d", i, c.Count)
+		}
+		if c.Reboot < 0 || math.IsNaN(c.Reboot) {
+			return fmt.Errorf("dsl: crash %d has invalid reboot %v", i, c.Reboot)
+		}
+	}
+	for i := range f.Outages {
+		o := &f.Outages[i]
+		if o.Start < 0 || math.IsNaN(o.Start) || o.Start >= duration {
+			return fmt.Errorf("dsl: outage %d starts at %v outside [0, %v)", i, o.Start, duration)
+		}
+		if o.Duration <= 0 || math.IsNaN(o.Duration) || math.IsInf(o.Duration, 0) {
+			return fmt.Errorf("dsl: outage %d has invalid duration %v", i, o.Duration)
+		}
+		if o.Frac == 0 {
+			o.Frac = 0.25
+		}
+		if o.Frac < 0 || o.Frac > 1 || math.IsNaN(o.Frac) {
+			return fmt.Errorf("dsl: outage %d frac %v outside (0, 1]", i, o.Frac)
+		}
+	}
+	return nil
+}
+
 // maxCells bounds a campaign's size so a typo'd sweep fails fast instead
 // of queueing a month of simulation.
 const maxCells = 100_000
@@ -210,6 +295,14 @@ func (s Spec) WithDefaults() (Spec, error) {
 	}
 	if s.Shelf.Cards < 0 || s.Shelf.PortsPerCard < 0 {
 		return s, fmt.Errorf("dsl: negative dslam shape %dx%d", s.Shelf.Cards, s.Shelf.PortsPerCard)
+	}
+
+	if s.Failures != nil {
+		f := *s.Failures // copy so normalization never aliases the input spec
+		if err := f.normalize(s.Duration); err != nil {
+			return s, err
+		}
+		s.Failures = &f
 	}
 
 	cells := len(s.Schemes) * len(s.Seeds)

@@ -339,6 +339,123 @@ list: [1, 'two', 3.5]
 	}
 }
 
+func TestParseSpecFailures(t *testing.T) {
+	s, err := ParseSpec([]byte(`
+schemes: [SoI, BH2+k-switch]
+duration: 7200
+trace:
+  profile: office
+  clients: 120
+  gateways: 24
+failures:
+  reboot_mean: 120
+  crashes:
+    - at: 1800
+    - at: 4000
+      count: 3
+      reboot: 60
+  outages:
+    - start: 3600
+      duration: 900
+      frac: 0.5
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Failures
+	if f == nil {
+		t.Fatal("failures block not parsed")
+	}
+	if f.RebootMean != 120 || f.RebootSigma != 0.5 {
+		t.Errorf("reboot distribution wrong: %+v", f)
+	}
+	if len(f.Crashes) != 2 || f.Crashes[0].Count != 1 || f.Crashes[1].Count != 3 || f.Crashes[1].Reboot != 60 {
+		t.Errorf("crashes parsed wrong: %+v", f.Crashes)
+	}
+	if len(f.Outages) != 1 || f.Outages[0].Frac != 0.5 || f.Outages[0].Duration != 900 {
+		t.Errorf("outages parsed wrong: %+v", f.Outages)
+	}
+	// Default frac fills in when omitted.
+	s2, err := ParseSpec([]byte(`
+schemes: [SoI]
+trace:
+  profile: office
+  clients: 10
+  gateways: 2
+failures:
+  outages:
+    - start: 100
+      duration: 60
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Failures.Outages[0].Frac != 0.25 {
+		t.Errorf("default frac wrong: %v", s2.Failures.Outages[0].Frac)
+	}
+}
+
+func TestSpecFailureErrorPaths(t *testing.T) {
+	fs := func(f FailureSpec) Spec {
+		return errSpec(func(s *Spec) { s.Failures = &f })
+	}
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"empty block", fs(FailureSpec{}), "at least one crash or outage"},
+		{"crash past horizon", fs(FailureSpec{Crashes: []CrashSpec{{At: 90000}}}), "outside"},
+		{"negative crash time", fs(FailureSpec{Crashes: []CrashSpec{{At: -1}}}), "outside"},
+		{"negative count", fs(FailureSpec{Crashes: []CrashSpec{{At: 100, Count: -2}}}), "negative count"},
+		{"negative reboot", fs(FailureSpec{Crashes: []CrashSpec{{At: 100, Reboot: -5}}}), "invalid reboot"},
+		{"outage past horizon", fs(FailureSpec{Outages: []OutageSpec{{Start: 90000, Duration: 60}}}), "outside"},
+		{"zero outage duration", fs(FailureSpec{Outages: []OutageSpec{{Start: 100}}}), "invalid duration"},
+		{"frac above one", fs(FailureSpec{Outages: []OutageSpec{{Start: 100, Duration: 60, Frac: 1.5}}}), "frac"},
+		{"negative reboot mean", fs(FailureSpec{RebootMean: -1, Crashes: []CrashSpec{{At: 100}}}), "reboot_mean"},
+		{"negative reboot sigma", fs(FailureSpec{RebootSigma: -1, Crashes: []CrashSpec{{At: 100}}}), "reboot_sigma"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.spec.WithDefaults()
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Normalization must copy, never mutate the caller's FailureSpec.
+	in := errSpec(func(s *Spec) {
+		s.Failures = &FailureSpec{Crashes: []CrashSpec{{At: 100}}}
+	})
+	if _, err := in.WithDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Failures.RebootMean != 0 {
+		t.Errorf("WithDefaults mutated the input failure spec: %+v", in.Failures)
+	}
+}
+
+// TestSpecHashFailureFreeUnchanged pins that adding the failures field
+// did not change the hash of specs that do not use it: resumable
+// manifests written before the field existed must still match.
+func TestSpecHashFailureFreeUnchanged(t *testing.T) {
+	s, err := ParseSpec([]byte(specYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failures != nil {
+		t.Fatal("spec without a failures block must keep a nil pointer")
+	}
+	withF := s
+	withF.Failures = &FailureSpec{RebootMean: 300, RebootSigma: 0.5, Crashes: []CrashSpec{{At: 100, Count: 1}}}
+	if withF.Hash() == s.Hash() {
+		t.Error("adding a failures block must change the hash")
+	}
+}
+
 func TestSpecHashStable(t *testing.T) {
 	a, err := ParseSpec([]byte(specYAML))
 	if err != nil {

@@ -21,6 +21,7 @@ package runner
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"insomnia/internal/sim"
@@ -45,6 +46,10 @@ type Runner struct {
 	// Workers caps concurrent simulations; <=0 means GOMAXPROCS. 1
 	// recovers the fully serial path.
 	Workers int
+	// Exec overrides how a job's simulation is executed; nil means
+	// sim.Run. It exists so campaign fault-tolerance tests can inject
+	// panics and slow jobs without touching the engine.
+	Exec func(sim.Config) (*sim.Result, error)
 }
 
 // Run executes every job and returns outcomes in job order. Errors don't
@@ -70,6 +75,10 @@ func (r Runner) RunStream(jobs []Job, emit func(i int, o Outcome)) []Outcome {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	exec := r.Exec
+	if exec == nil {
+		exec = sim.Run
+	}
 	next := make(chan int)
 	done := make(chan int, len(jobs))
 	var wg sync.WaitGroup
@@ -78,7 +87,7 @@ func (r Runner) RunStream(jobs []Job, emit func(i int, o Outcome)) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res, err := sim.Run(jobs[i].Config)
+				res, err := runJob(exec, jobs[i])
 				if err != nil {
 					err = fmt.Errorf("runner: job %q: %w", jobs[i].Name, err)
 				}
@@ -109,6 +118,20 @@ func (r Runner) RunStream(jobs []Job, emit func(i int, o Outcome)) []Outcome {
 	}
 	wg.Wait()
 	return out
+}
+
+// runJob executes one job, converting a panic in the simulation into an
+// ordinary error so one poisoned cell cannot take down a whole campaign
+// (or the worker pool with it). The panic value and stack ride along in
+// the error; the caller decides whether to retry, skip or abort.
+func runJob(exec func(sim.Config) (*sim.Result, error), j Job) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return exec(j.Config)
 }
 
 // Run executes jobs with a default (GOMAXPROCS-wide) pool.

@@ -3,6 +3,7 @@ package runner
 import (
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 
 	"insomnia/internal/sim"
@@ -149,6 +150,78 @@ func TestSeedJobsShareFixtures(t *testing.T) {
 	// Different seeds must explore different randomness.
 	if outs[0].Result.Energy == outs[1].Result.Energy {
 		t.Error("seed sweep produced identical energy for different seeds")
+	}
+}
+
+// TestPanicRecovery pins the fault-tolerance contract: a panic inside a
+// job becomes an Outcome error carrying the panic value, the worker pool
+// survives, and jobs around the panic still produce results.
+func TestPanicRecovery(t *testing.T) {
+	tr, tp := scenario(t, 26)
+	good := sim.Config{Trace: tr, Topo: tp, Scheme: sim.SoI, Seed: 26, K: 2}
+	boom := good
+	boom.Seed = -777 // marker the injected exec panics on
+	r := Runner{Workers: 3, Exec: func(cfg sim.Config) (*sim.Result, error) {
+		if cfg.Seed == -777 {
+			panic("injected cell failure")
+		}
+		return sim.Run(cfg)
+	}}
+	outs := r.Run([]Job{
+		{Name: "good-1", Config: good},
+		{Name: "boom", Config: boom},
+		{Name: "good-2", Config: good},
+	})
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Fatalf("jobs around the panic failed: %v / %v", outs[0].Err, outs[2].Err)
+	}
+	if outs[1].Err == nil || outs[1].Result != nil {
+		t.Fatalf("panicked job must carry an error and no result, got %v", outs[1])
+	}
+	msg := outs[1].Err.Error()
+	for _, want := range []string{"boom", "panic", "injected cell failure"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic error %q does not mention %q", msg, want)
+		}
+	}
+	sameResult(t, "jobs around a panic", outs[0].Result, outs[2].Result)
+}
+
+// TestPanicDeterminismAcrossWorkers: with a panicking cell in the mix,
+// 1 worker and N workers must still agree on which jobs failed and on
+// every successful result.
+func TestPanicDeterminismAcrossWorkers(t *testing.T) {
+	tr, tp := scenario(t, 27)
+	exec := func(cfg sim.Config) (*sim.Result, error) {
+		if cfg.Scheme == sim.Optimal {
+			panic("optimal is poisoned in this test")
+		}
+		return sim.Run(cfg)
+	}
+	base := sim.Config{Trace: tr, Topo: tp, Seed: 27, K: 2}
+	jobs := SchemeJobs(base, []sim.Scheme{
+		sim.NoSleep, sim.SoI, sim.Optimal, sim.BH2KSwitch, sim.Centralized,
+	})
+	serial := Runner{Workers: 1, Exec: exec}.Run(jobs)
+	for _, workers := range []int{2, 4} {
+		parallel := Runner{Workers: workers, Exec: exec}.Run(jobs)
+		for i := range jobs {
+			if (serial[i].Err != nil) != (parallel[i].Err != nil) {
+				t.Fatalf("workers=%d: job %q error mismatch: %v vs %v",
+					workers, jobs[i].Name, serial[i].Err, parallel[i].Err)
+			}
+			if serial[i].Err != nil {
+				// Stacks differ across goroutines; the first line (panic
+				// value and job name) is the deterministic part.
+				sf := strings.SplitN(serial[i].Err.Error(), "\n", 2)[0]
+				pf := strings.SplitN(parallel[i].Err.Error(), "\n", 2)[0]
+				if sf != pf {
+					t.Fatalf("workers=%d: job %q error first line %q vs %q", workers, jobs[i].Name, sf, pf)
+				}
+				continue
+			}
+			sameResult(t, jobs[i].Name, serial[i].Result, parallel[i].Result)
+		}
 	}
 }
 

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"insomnia/internal/topology"
+	"insomnia/internal/trace"
+)
+
+// TestAdversarialOutWakesSoI closes the loop between the adversarial
+// trace search and the engine: hill-climbing keepalive schedules against
+// a wakeups-under-SoI objective must find a schedule that forces more
+// wakeups than its random seed pattern. This is the adversarial
+// robustness probe cmd/tracegen -adversarial exposes.
+func TestAdversarialOutWakesSoI(t *testing.T) {
+	acfg := trace.AdversaryConfig{Clients: 24, APs: 6, Duration: 1800, Seed: 11, Iters: 25}
+	// The client-AP placement is identical for every candidate, so one
+	// topology serves the whole search.
+	var tp *topology.Topology
+	score := func(tr *trace.Trace) float64 {
+		if tp == nil {
+			g, err := topology.OverlapGraph(acfg.APs, 4, acfg.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tp, err = topology.FromOverlap(g, tr.ClientAP); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := Run(Config{Trace: tr, Topo: tp, Scheme: SoI, Seed: acfg.Seed, K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Wakeups)
+	}
+	a, err := trace.SearchAdversarial(acfg, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score <= a.Initial {
+		t.Errorf("adversarial search should out-wake its seed pattern: %v -> %v", a.Initial, a.Score)
+	}
+	// The returned trace reproduces the reported worst case exactly.
+	if got := score(a.Trace); got != a.Score {
+		t.Errorf("returned trace scores %v, want %v", got, a.Score)
+	}
+}

@@ -137,11 +137,25 @@ func (s *sim) handle(sh *shard, e event) {
 		if t := s.now + s.cfg.SampleEvery; t <= s.end {
 			s.push(event{t: t, kind: evTick})
 		}
+		if s.hasFailures {
+			// Arm the failure events due before the next tick. Chaining the
+			// pushes off the tick handler keeps the coordinator-event
+			// ordering invariant the sharded fence rule relies on.
+			s.armFailures(s.now + s.cfg.SampleEvery)
+		}
 	case evResolve:
 		s.strat.onResolve(s)
-		if t := s.now + s.cfg.OptimalEvery; t <= s.end {
-			s.push(event{t: t, kind: evResolve})
+		// aux 1 marks a one-shot failure-reaction solve: it must not spawn a
+		// second periodic chain.
+		if e.aux == 0 {
+			if t := s.now + s.cfg.OptimalEvery; t <= s.end {
+				s.push(event{t: t, kind: evResolve})
+			}
 		}
+	case evFail:
+		s.failGateway(&s.gws[e.a], sh.now)
+	case evRecover:
+		s.recoverGateway(&s.gws[e.a], sh.now)
 	}
 }
 
@@ -189,6 +203,9 @@ func (s *sim) quiesce(sh *shard, g *gateway) {
 // effects when it starts a wake. sh must be g's owning lane (strategy code
 // passes s.main, which owns every gateway in the modes strategies run in).
 func (s *sim) touch(sh *shard, g *gateway, t float64) {
+	if g.failDepth > 0 {
+		return // dead line: traffic and wake attempts are lost until recovery
+	}
 	if s.cfg.RandomWake && g.ctl.State() == power.Sleeping {
 		g.ctl.WakeDelay = dsl.WakeTime(s.wakeRNG)
 	}
@@ -443,6 +460,9 @@ func (s *sim) flowArrival(sh *shard, idx, c int, up bool) {
 	}
 	s.lastTraffic[c] = sh.now
 	gw := s.strat.route(s, c)
+	if s.hasFailures {
+		s.noteService(c, gw, sh.now)
+	}
 	g := &s.gws[gw]
 	s.elapse(g, sh.now)
 	capBps := s.linkBps(c, gw)
@@ -481,7 +501,13 @@ func (s *sim) flowArrival(sh *shard, idx, c int, up bool) {
 func (s *sim) keepalive(sh *shard, c int, bytes int64) {
 	s.lastTraffic[c] = sh.now
 	gw := s.strat.route(s, c)
+	if s.hasFailures {
+		s.noteService(c, gw, sh.now)
+	}
 	g := &s.gws[gw]
+	if g.failDepth > 0 {
+		return // packet lost: no wake, no frames on the air, no demand served
+	}
 	s.touch(sh, g, sh.now)
 	g.sn.Advance(wifi.FramesFor(bytes))
 	if s.needDemand {
@@ -569,6 +595,13 @@ func (s *sim) tick() {
 	s.ispTS.Add(s.now, ispW)
 	s.gwTS.Add(s.now, float64(online))
 	s.cardTS.Add(s.now, float64(s.policy.AwakeCardCount()))
+	if s.hasFailures {
+		stranded := 0
+		for si := range s.shards {
+			stranded += s.shards[si].strandedN
+		}
+		s.strandedTS.Add(s.now, float64(stranded))
+	}
 }
 
 // tickPrepRange runs the per-gateway tick prep over one worker's span:
@@ -620,5 +653,40 @@ func (s *sim) result() *Result {
 		res.Energy.ISPJ += cd.EnergyAt(s.end)
 	}
 	res.Energy.ISPJ += s.shelf.EnergyAt(s.end)
+	res.Availability = 1
+	if s.hasFailures {
+		// Close the open intervals at the horizon, then reduce the
+		// per-client accumulators in index order (bit-stable at every shard
+		// and worker count).
+		for c := range s.strandedOn {
+			if s.strandedOn[c] >= 0 {
+				s.strandedSec[c] += s.end - s.strandedFrom[c]
+			}
+		}
+		for gwID := range s.gws {
+			if g := &s.gws[gwID]; g.failDepth > 0 {
+				s.downTime[gwID] += s.end - g.downSince
+			}
+		}
+		var strandedSec, recSec float64
+		recN := 0
+		for c := range s.strandedSec {
+			strandedSec += s.strandedSec[c]
+			recSec += s.reconnSec[c]
+			recN += int(s.reconnN[c])
+		}
+		res.Failures = s.failures
+		res.FlowsAborted = s.flowsAborted
+		res.StrandedSeconds = strandedSec
+		res.Reconnects = recN
+		if recN > 0 {
+			res.MeanRecoveryS = recSec / float64(recN)
+		}
+		if n := float64(len(s.clients)) * s.end; n > 0 {
+			res.Availability = 1 - strandedSec/n
+		}
+		res.GatewayDownTime = s.downTime
+		res.StrandedClients = s.strandedTS
+	}
 	return res
 }

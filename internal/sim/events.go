@@ -6,7 +6,9 @@ const (
 	evGwCheck         // gateway A state transition due
 	evDecide          // BH2 decision for client A
 	evTick            // metric sampling + estimator observation
-	evResolve         // Optimal re-solve
+	evResolve         // Optimal re-solve (aux 1: one-shot failure reaction)
+	evFail            // gateway A loses power (failure injection)
+	evRecover         // gateway A rebooted and is operative again
 )
 
 type event struct {

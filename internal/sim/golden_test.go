@@ -86,6 +86,20 @@ func fingerprint(res *Result) string {
 		hashInt(h, int64(r))
 		hashInt(h, int64(res.DecisionReasons[bh2.Reason(r)]))
 	}
+	// Robustness block, present only for failure-injection runs so every
+	// failure-free fingerprint predating it is unchanged.
+	if res.GatewayDownTime != nil {
+		hashInt(h, int64(res.Failures))
+		hashInt(h, int64(res.FlowsAborted))
+		hashF64(h, res.StrandedSeconds)
+		hashInt(h, int64(res.Reconnects))
+		hashF64(h, res.MeanRecoveryS)
+		hashF64(h, res.Availability)
+		for _, v := range res.GatewayDownTime {
+			hashF64(h, v)
+		}
+		hashSeries(h, res.StrandedClients)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -109,6 +123,17 @@ func goldenCases(t *testing.T) map[string]*Result {
 	tr21, tp21 := smallScenario(t, 21)
 	for _, sc := range []Scheme{SoI, BH2KSwitch, Optimal} {
 		out["seed21/"+sc.String()] = run(t, tr21, tp21, sc, 21)
+	}
+	// Failure injection: a mid-run crash plus an area outage, pinned for the
+	// schemes whose reactions differ (SoI blind, BH2 terminal-side,
+	// Centralized controller-side re-solve).
+	fp := testFailurePlan()
+	for _, sc := range []Scheme{SoI, BH2KSwitch, Centralized} {
+		res, err := Run(Config{Trace: tr9, Topo: tp9, Scheme: sc, Seed: 9, K: 2, Failures: fp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["seed9/"+sc.String()+"/failures"] = res
 	}
 	// Full-day §5 scenario (same construction as figures.NewScenario): the
 	// acceptance bar for engine refactors is byte-identical day-run metrics.

@@ -32,6 +32,12 @@ type strategy interface {
 	onDecide(s *sim, c int)
 	// onResolve handles an evResolve event (coordinated schemes only).
 	onResolve(s *sim)
+	// onFailure is the failure-injection hook, fired after gateway gw loses
+	// (up false) or regains (up true) power. Coordinated schemes use it to
+	// react from the ISP side; distributed schemes are blinded — BH2
+	// terminals only notice failures through missing beacons at their next
+	// decision, and plain SoI not at all.
+	onFailure(s *sim, gw int, up bool)
 	// sleepCards reports whether line cards may follow the switch policy to
 	// sleep (false under no-sleep).
 	sleepCards() bool
@@ -83,6 +89,7 @@ func (baseScheme) seedEvents(*sim)                        {}
 func (baseScheme) route(s *sim, c int) int                { return s.clients[c].home }
 func (baseScheme) onDecide(*sim, int)                     {}
 func (baseScheme) onResolve(*sim)                         {}
+func (baseScheme) onFailure(*sim, int, bool)              {}
 func (baseScheme) sleepCards() bool                       { return true }
 func (baseScheme) parallelMode() engineMode               { return modeSerial }
 func (baseScheme) usesDemand() bool                       { return false }

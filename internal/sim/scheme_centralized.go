@@ -62,11 +62,23 @@ func (sc centralizedScheme) onResolve(s *sim) {
 		}
 	}
 	// Wake the chosen gateways (ISP-side remote wake); everything else is
-	// left to drain naturally.
+	// left to drain naturally. touch is gated on failed gateways, so a
+	// solution that picked a dead one simply fails to wake it — the clients
+	// re-route at their next traffic.
 	for gwID := range s.gws {
 		g := &s.gws[gwID]
 		if sol.Open[gwID] && g.ctl.State() == power.Sleeping {
 			s.touch(s.main, g, s.now)
 		}
+	}
+}
+
+// onFailure: the controller sees the line drop (loss of DSL signal) and
+// re-solves immediately instead of waiting out the period, shifting the
+// failed area's demand onto live gateways. Recoveries wait for the next
+// periodic solve.
+func (sc centralizedScheme) onFailure(s *sim, gw int, up bool) {
+	if !up {
+		scheduleFailureResolve(s)
 	}
 }

@@ -161,6 +161,15 @@ func (sc optimalScheme) migrateFlows(s *sim, g *gateway) {
 	}
 }
 
+// onFailure: the oracle notices instantly and re-solves, opening substitute
+// gateways for the stranded area. Its fiat wake (touch) is still gated on
+// failed gateways — even the upper bound cannot power a dead line.
+func (sc optimalScheme) onFailure(s *sim, gw int, up bool) {
+	if !up {
+		scheduleFailureResolve(s)
+	}
+}
+
 func (optimalScheme) closeGateway(s *sim, g *gateway) {
 	if g.ctl.State() == power.Sleeping {
 		return

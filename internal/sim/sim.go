@@ -105,6 +105,12 @@ type Config struct {
 	Seed        int64
 	SampleEvery float64 // metric sampling period (default 1 s)
 
+	// Failures is the deterministic failure-injection plan: gateway crashes
+	// with rebooting restarts and area power-outage windows (failures.go).
+	// The zero value injects nothing. Reboot draws come from Seed, so the
+	// plan expands identically at every shard and worker count.
+	Failures FailurePlan
+
 	// Shards is the engine shard count: >= 2 partitions the event engine
 	// by gateway across that many worker goroutines (see shard.go), 0 or 1
 	// runs the classic serial engine. Results are byte-identical at every
@@ -171,6 +177,10 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Shards < 0 {
 		return c, fmt.Errorf("sim: negative shard count %d", c.Shards)
 	}
+	var err error
+	if c.Failures, err = c.Failures.normalized(c.Topo.NumGateways); err != nil {
+		return c, err
+	}
 	return c, nil
 }
 
@@ -208,6 +218,18 @@ type Result struct {
 	// DecisionReasons counts BH2 decision outcomes by reason — the §5.1
 	// oscillation diagnostics.
 	DecisionReasons map[bh2.Reason]int
+
+	// Robustness metrics, populated only when Config.Failures is non-empty
+	// (GatewayDownTime non-nil is the sentinel; Availability is 1 on
+	// failure-free runs).
+	Failures        int     // distinct gateway-down episodes
+	FlowsAborted    int     // in-flight flows killed by a power cut
+	StrandedSeconds float64 // total client-seconds without service after a failed attempt
+	Reconnects      int     // stranded clients that regained service
+	MeanRecoveryS   float64 // mean stranded-to-reconnected interval
+	Availability    float64 // 1 - StrandedSeconds / (clients * Duration)
+	GatewayDownTime []float64
+	StrandedClients *stats.TimeSeries // stranded-client count per sample bin
 }
 
 // SavingsVs returns total energy savings of r against a baseline run.

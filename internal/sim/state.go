@@ -56,6 +56,15 @@ type gateway struct {
 	// instead of scanning every client.
 	pending []int
 
+	// Failure injection (failures.go). failDepth counts the overlapping
+	// failure causes currently holding the gateway down (a crash inside an
+	// outage window nests); the gateway is operative iff it is zero.
+	// stranded lists the clients whose last service attempt died on this
+	// gateway, so recovery reconnects exactly them in O(|stranded|).
+	failDepth int32
+	downSince float64
+	stranded  []int32
+
 	// Completion-arming cache (scheduleCompletion): valid while schedGen
 	// matches flowsGen, which is bumped on every membership change of
 	// flows. schedMin is the flow index that completes first;
@@ -126,6 +135,11 @@ type shard struct {
 
 	deferSinks bool
 	sinks      []sinkOp
+
+	// strandedN counts clients currently stranded on this lane's gateways
+	// (failure runs only). Kept per lane so lanes never write a shared
+	// counter; tick sums the lanes at the barrier.
+	strandedN int
 }
 
 // push assigns the lane's next sequence number and queues the event.
@@ -184,6 +198,25 @@ type sim struct {
 	decRNG  *rand.Rand
 	wakeRNG *rand.Rand
 
+	// Failure injection (failures.go); all nil/zero on failure-free runs.
+	// The per-client float accumulators (strandedSec, reconnSec) exist so
+	// the result sums them in client index order — bit-identical at every
+	// shard count — instead of accumulating across lanes in arrival order.
+	hasFailures     bool
+	failSched       []failEvent
+	failIdx         int
+	strandedFrom    []float64 // stranding epoch per client (valid while strandedOn >= 0)
+	strandedOn      []int32   // gateway the client is stranded on; -1 when served
+	strandedPos     []int32   // index in that gateway's stranded list
+	strandedSec     []float64
+	reconnSec       []float64
+	reconnN         []int32
+	downTime        []float64 // per-gateway seconds without power
+	failures        int       // distinct gateway-down episodes
+	flowsAborted    int
+	strandedTS      *stats.TimeSeries
+	lastFailResolve float64 // dedups the coordinated schemes' failure re-solve per instant
+
 	// Metrics.
 	powerTS, userTS, ispTS, gwTS, cardTS *stats.TimeSeries
 	moves, resolves, optGap              int
@@ -211,6 +244,8 @@ func newSim(cfg Config) (*sim, error) {
 		flows:       make([]flowState, len(cfg.Trace.Flows)),
 		reasons:     make(map[bh2.Reason]int),
 		lastTraffic: make([]float64, nCl),
+
+		lastFailResolve: -1,
 	}
 	for c := range s.lastTraffic {
 		s.lastTraffic[c] = math.Inf(-1)
@@ -268,9 +303,14 @@ func newSim(cfg Config) (*sim, error) {
 	strat.postInit(s)
 
 	// Seed periodic events (always on the main lane: ticks, decisions and
-	// re-solves carry global order).
+	// re-solves carry global order). Failure events due at t=0 are armed
+	// last; later ones chain off the tick handler (see armFailures).
 	s.push(event{t: 0, kind: evTick})
 	strat.seedEvents(s)
+	if !cfg.Failures.Empty() {
+		s.initFailures(bins)
+		s.armFailures(0)
+	}
 	return s, nil
 }
 

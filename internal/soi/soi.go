@@ -139,3 +139,29 @@ func (c *Controller) Sleep(t float64) {
 		c.wakeAt = math.Inf(1)
 	}
 }
+
+// Fail cuts power at time t: transitions due up to t fire first (so energy
+// is integrated exactly), then the device drops to Sleeping whatever state
+// it was in and any pending wake is lost. It returns the state the power
+// cut hit, so the caller can tell an operative line from one that was
+// already dark. Unlike Sleep, Fail models an involuntary loss — the caller
+// is expected to gate Touch until the matching Restore.
+func (c *Controller) Fail(t float64) power.State {
+	c.Advance(t)
+	st := c.dev.State()
+	if st != power.Sleeping {
+		c.dev.SetState(t, power.Sleeping)
+	}
+	c.wakeAt = math.Inf(1)
+	return st
+}
+
+// Restore brings a failed device back to operational at time t: the reboot
+// interval already elapsed between Fail and Restore, so the device comes
+// up On (counting one wakeup) with a fresh idle clock.
+func (c *Controller) Restore(t float64) {
+	c.Advance(t)
+	c.dev.SetState(t, power.On)
+	c.lastActivity = t
+	c.wakeAt = math.Inf(1)
+}

@@ -213,3 +213,53 @@ func TestForcedSleep(t *testing.T) {
 		t.Errorf("energy = %v, want %v", got, want)
 	}
 }
+
+func TestFailRestore(t *testing.T) {
+	c := newCtl(0, power.On)
+	c.Touch(50)
+	// The cut hits an operative device: Fail reports the state it found and
+	// drops it to Sleeping with no wake pending.
+	if st := c.Fail(100); st != power.On {
+		t.Fatalf("Fail found state %v, want On", st)
+	}
+	if c.State() != power.Sleeping {
+		t.Fatalf("state = %v after Fail", c.State())
+	}
+	if got := c.WakeReadyAt(); !math.IsInf(got, 1) {
+		t.Errorf("wakeAt = %v after Fail, want +Inf", got)
+	}
+	// Restore brings it up On with a fresh idle clock — one wakeup.
+	wk := c.Device().Wakeups()
+	c.Restore(400)
+	if c.State() != power.On {
+		t.Fatalf("state = %v after Restore", c.State())
+	}
+	if got := c.Device().Wakeups(); got != wk+1 {
+		t.Errorf("Restore charged %d wakeups, want 1", got-wk)
+	}
+	if got := c.NextTransition(); got != 400+c.IdleTimeout {
+		t.Errorf("idle deadline = %v after Restore, want %v", got, 400+c.IdleTimeout)
+	}
+	// Energy: on 0..100, off 100..400, on 400..500 => 200 s active.
+	want := 200 * power.GatewayWatts
+	if got := c.Device().EnergyAt(500); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestFailMidWake(t *testing.T) {
+	// A power cut during the wake ramp loses the pending wake entirely.
+	c := newCtl(0, power.Sleeping)
+	c.Touch(10)
+	if st := c.Fail(30); st != power.Waking {
+		t.Fatalf("Fail found state %v, want Waking", st)
+	}
+	c.Advance(1000)
+	if c.State() != power.Sleeping {
+		t.Fatalf("state = %v; the lost wake must not complete", c.State())
+	}
+	// Fail on an already-dark device is a no-op state-wise.
+	if st := c.Fail(1100); st != power.Sleeping {
+		t.Fatalf("second Fail found %v, want Sleeping", st)
+	}
+}

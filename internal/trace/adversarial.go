@@ -1,0 +1,155 @@
+package trace
+
+// Adversarial keepalive synthesis: a seeded hill-climb over per-client
+// keepalive schedules that searches for the light-traffic pattern a given
+// objective scores worst. Sleep-scheduling schemes earn their savings from
+// the gaps between keepalives; a handful of clients with maliciously
+// phased periods can keep a whole neighborhood of gateways cycling. The
+// search makes that worst case a first-class test input: callers hand in
+// a score function (typically "wakeups under scheme X", see cmd/tracegen)
+// and get back the trace that maximizes it.
+//
+// Determinism: all randomness comes from the config seed (stream 0xad7e)
+// and every iteration consumes a fixed number of draws whether or not the
+// mutation is accepted, so a search is reproducible draw-for-draw.
+// Periods and phases are continuous draws, which keeps packet times free
+// of exact ties with each other or with scheduled simulator events.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"insomnia/internal/stats"
+)
+
+// AdversaryConfig parameterizes the adversarial search.
+type AdversaryConfig struct {
+	Clients  int
+	APs      int
+	Duration float64 // seconds
+	Seed     int64
+	Iters    int // hill-climb iterations (default 100)
+
+	// Keepalive period bounds in seconds (defaults 5 and 600): the search
+	// space spans aggressive IM-style pingers to lazy NAT keepalives.
+	MinPeriodSec float64
+	MaxPeriodSec float64
+}
+
+func (a AdversaryConfig) withDefaults() (AdversaryConfig, error) {
+	if a.Iters == 0 {
+		a.Iters = 100
+	}
+	if a.MinPeriodSec == 0 {
+		a.MinPeriodSec = 5
+	}
+	if a.MaxPeriodSec == 0 {
+		a.MaxPeriodSec = 600
+	}
+	if a.Clients <= 0 || a.APs <= 0 || a.Clients < a.APs {
+		return a, fmt.Errorf("trace: adversary needs clients >= aps > 0, got %d/%d", a.Clients, a.APs)
+	}
+	if a.Duration <= 0 || math.IsNaN(a.Duration) || math.IsInf(a.Duration, 0) {
+		return a, fmt.Errorf("trace: adversary duration %v must be positive and finite", a.Duration)
+	}
+	if a.Iters < 0 {
+		return a, fmt.Errorf("trace: negative adversary iterations %d", a.Iters)
+	}
+	if a.MinPeriodSec <= 0 || a.MaxPeriodSec < a.MinPeriodSec {
+		return a, fmt.Errorf("trace: adversary period bounds [%v, %v] invalid", a.MinPeriodSec, a.MaxPeriodSec)
+	}
+	return a, nil
+}
+
+// KeepalivePattern is one candidate schedule: client c sends a keepalive
+// at Phase[c] + k*Period[c] for every k keeping it inside the duration.
+type KeepalivePattern struct {
+	Period []float64
+	Phase  []float64
+}
+
+func (p KeepalivePattern) clone() KeepalivePattern {
+	return KeepalivePattern{
+		Period: append([]float64(nil), p.Period...),
+		Phase:  append([]float64(nil), p.Phase...),
+	}
+}
+
+// AdversarialResult is a finished search: the worst-case trace found, the
+// pattern behind it, and the score trajectory endpoints.
+type AdversarialResult struct {
+	Trace   *Trace
+	Pattern KeepalivePattern
+	Score   float64 // best score reached
+	Initial float64 // score of the seed pattern before climbing
+}
+
+// SearchAdversarial hill-climbs keepalive schedules to maximize score.
+// Each iteration redraws one client's period and phase, keeping the
+// mutation only when the score does not decrease (plateau moves stay, so
+// the climb can cross flat regions of a discrete objective like wakeup
+// counts). The score function is called once per iteration plus once for
+// the seed pattern; it must treat the trace as read-only.
+func SearchAdversarial(a AdversaryConfig, score func(*Trace) float64) (*AdversarialResult, error) {
+	a, err := a.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(a.Seed, 0xad7e)
+	span := a.MaxPeriodSec - a.MinPeriodSec
+	best := KeepalivePattern{
+		Period: make([]float64, a.Clients),
+		Phase:  make([]float64, a.Clients),
+	}
+	for c := 0; c < a.Clients; c++ {
+		best.Period[c] = a.MinPeriodSec + r.Float64()*span
+		best.Phase[c] = r.Float64() * best.Period[c]
+	}
+	bestTrace := a.materialize(best)
+	bestScore := score(bestTrace)
+	initial := bestScore
+	for it := 0; it < a.Iters; it++ {
+		// Fixed draw count per iteration: reproducibility does not depend
+		// on which mutations were accepted.
+		c := r.Intn(a.Clients)
+		period := a.MinPeriodSec + r.Float64()*span
+		phase := r.Float64() * period
+		cand := best.clone()
+		cand.Period[c], cand.Phase[c] = period, phase
+		tr := a.materialize(cand)
+		if s := score(tr); s >= bestScore {
+			best, bestTrace, bestScore = cand, tr, s
+		}
+	}
+	return &AdversarialResult{Trace: bestTrace, Pattern: best, Score: bestScore, Initial: initial}, nil
+}
+
+// materialize expands a pattern into a valid keepalive-only Trace: clients
+// round-robin over APs (the paper's uniform placement), packets sorted by
+// (time, client).
+func (a AdversaryConfig) materialize(p KeepalivePattern) *Trace {
+	tr := &Trace{
+		Cfg: Config{
+			Clients: a.Clients, APs: a.APs, Duration: a.Duration,
+			BackhaulBps: DefaultBackhaulBps, UplinkBps: 512e3, Seed: a.Seed,
+		},
+		ClientAP: make([]int, a.Clients),
+	}
+	for c := range tr.ClientAP {
+		tr.ClientAP[c] = c % a.APs
+	}
+	for c := 0; c < a.Clients; c++ {
+		for t := p.Phase[c]; t < a.Duration; t += p.Period[c] {
+			tr.Keepalives = append(tr.Keepalives, Packet{T: t, Client: int32(c), Bytes: keepaliveBase})
+		}
+	}
+	sort.Slice(tr.Keepalives, func(i, j int) bool {
+		x, y := tr.Keepalives[i], tr.Keepalives[j]
+		if x.T != y.T {
+			return x.T < y.T
+		}
+		return x.Client < y.Client
+	})
+	return tr
+}
