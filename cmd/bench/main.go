@@ -9,6 +9,9 @@
 //     a trajectory point costs minutes, not hours — each scheme measured
 //     serially and again on the sharded engine (-shards lanes; identical
 //     results, so the pair reads as a speedup measurement);
+//   - the symmetric-city sweep (-collapse): the same metro scale with
+//     `placement: symmetric`, run as a campaign with `collapse: off` and
+//     `collapse: auto`, recording the symmetry-collapse speedup ratio;
 //   - optionally (-xl) the million-client metro: 100k gateways / 1M
 //     clients on the sharded engine, the scale target the sharding work
 //     exists for.
@@ -17,7 +20,7 @@
 //
 //	bench [-out BENCH_2026-07-29.json] [-seed 2] [-shards NumCPU]
 //	      [-city=true] [-city-gateways 10000] [-city-clients 100000] [-city-duration 1800]
-//	      [-xl] [-xl-gateways 100000] [-xl-clients 1000000] [-xl-duration 600]
+//	      [-collapse=true] [-xl] [-xl-gateways 100000] [-xl-clients 1000000] [-xl-duration 600]
 //	      [-comparison=true] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	      [-against auto|off|FILE] [-gate-tol 0.35] [-gate-wall-tol 3]
 //
@@ -36,9 +39,11 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"insomnia/internal/campaign"
 	"insomnia/internal/cli"
 	"insomnia/internal/dsl"
 	"insomnia/internal/perf"
@@ -59,6 +64,7 @@ func main() {
 	cityClients := flag.Int("city-clients", 100000, "city terminal devices")
 	cityDur := flag.Float64("city-duration", 1800, "simulated seconds for the city runs")
 	shards := flag.Int("shards", runtime.NumCPU(), "engine shards for the city-sharded entries (results identical at every value)")
+	collapse := flag.Bool("collapse", true, "run the symmetric-city sweep full and collapsed (records the speedup ratio)")
 	xl := flag.Bool("xl", false, "also run the million-client metro on the sharded engine")
 	xlGWs := flag.Int("xl-gateways", 100000, "xl metro gateways")
 	xlClients := flag.Int("xl-clients", 1000000, "xl metro terminal devices")
@@ -93,6 +99,11 @@ func main() {
 		}
 		if *city {
 			if err := benchCity(rep, *seed, *cityGWs, *cityClients, *cityDur, *shards); err != nil {
+				return err
+			}
+		}
+		if *collapse {
+			if err := benchCollapse(rep, *seed, *cityGWs, *cityClients, *cityDur); err != nil {
 				return err
 			}
 		}
@@ -283,6 +294,78 @@ func benchCity(rep *perf.Report, seed int64, gws, clients int, duration float64,
 			}
 		}
 	}
+	return nil
+}
+
+// benchCollapse measures the symmetry-collapse pass end to end: one
+// symmetric grid-city campaign (three collapsible schemes over the metro
+// scale of the city entries), simulated full (`collapse: off`) and
+// collapsed (`collapse: auto`). The two runs write byte-identical
+// artifacts — pinned by the campaign tests — so the pair is a pure
+// speedup measurement; the ratio is recorded as the collapsed entry's
+// "speedup" metric, which perf.Compare gates as higher-is-better.
+func benchCollapse(rep *perf.Report, seed int64, gws, clients int, duration float64) error {
+	spec := dsl.Spec{
+		Name:     "bench-collapse",
+		Schemes:  []string{"no-sleep", "SoI", "SoI+full-switch"},
+		Seeds:    []int64{seed},
+		Duration: duration,
+		Trace: dsl.TraceSpec{
+			Profile: "residential", Clients: clients, Gateways: gws,
+			Placement: "symmetric",
+		},
+		Topology: dsl.TopoSpec{Kind: "grid-city", MeanInRange: 4.5},
+		Outputs:  []string{"summary"},
+	}
+	scenario := fmt.Sprintf("symmetric city sweep: %d clients / %d gateways / %.0fs x %d schemes, seed %d",
+		clients, gws, duration, len(spec.Schemes), seed)
+	tmp, err := os.MkdirTemp("", "bench-collapse-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	run := func(mode string) (*campaign.RunResult, error) {
+		p, err := campaign.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		// One worker, one shard: both runs measure the same serial pipeline,
+		// so the ratio isolates the collapse itself.
+		return p.Run(campaign.Options{
+			Workers: 1, Shards: 1, OutDir: filepath.Join(tmp, mode), Collapse: mode,
+		})
+	}
+	err = rep.Measure("city-sweep-full", scenario, func() (map[string]float64, error) {
+		if _, err := run("off"); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return err
+	}
+	fullWall := rep.Entries[len(rep.Entries)-1].WallSeconds
+	err = rep.Measure("city-sweep-collapsed", scenario, func() (map[string]float64, error) {
+		res, err := run("auto")
+		if err != nil {
+			return nil, err
+		}
+		classes := 0.0
+		for _, r := range res.Rows {
+			if r.CollapsedClasses > 0 {
+				classes = float64(r.CollapsedClasses)
+			}
+		}
+		if classes == 0 {
+			return nil, fmt.Errorf("symmetric sweep did not collapse")
+		}
+		return map[string]float64{"collapsed_classes": classes}, nil
+	})
+	if err != nil {
+		return err
+	}
+	e := &rep.Entries[len(rep.Entries)-1]
+	e.Metrics["speedup"] = fullWall / e.WallSeconds
 	return nil
 }
 

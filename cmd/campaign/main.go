@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	campaign run spec.yaml [-workers N] [-shards N] [-out dir] [-resume] [-q]
+//	campaign run spec.yaml [-workers N] [-shards N] [-collapse auto|off] [-out dir] [-resume] [-q]
 //	campaign check spec.yaml
 //
 // `run` executes the campaign. Progress is checkpointed to
@@ -29,7 +29,7 @@ import (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  campaign run spec.yaml [-workers N] [-shards N] [-out dir] [-resume] [-q]
+  campaign run spec.yaml [-workers N] [-shards N] [-collapse auto|off] [-out dir] [-resume] [-q]
   campaign check spec.yaml
 
 commands:
@@ -117,16 +117,23 @@ func cmdRun(args []string) {
 	shards := fs.Int("shards", 0, "engine shards per simulation (0 = spec's shards key, else auto; results identical at every value)")
 	out := fs.String("out", "campaign-out", "output directory (manifest + artifacts)")
 	resume := fs.Bool("resume", false, "continue an interrupted campaign in -out")
+	collapse := fs.String("collapse", "", `symmetry collapse: "auto" or "off" (default: the spec's collapse key; artifacts identical either way)`)
 	quiet := fs.Bool("q", false, "suppress per-cell progress")
 	specPath := parseCommand("run", fs, args)
 
+	switch *collapse {
+	case "", "auto", "off":
+	default:
+		log.Fatalf("unknown -collapse mode %q (known: auto, off)", *collapse)
+	}
 	plan := loadPlan(specPath)
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
 	res, err := plan.Run(campaign.Options{
-		Workers: *workers, Shards: *shards, OutDir: *out, Resume: *resume, Logf: logf,
+		Workers: *workers, Shards: *shards, OutDir: *out, Resume: *resume,
+		Collapse: *collapse, Logf: logf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -160,15 +160,40 @@ func applyAxis(s *dsl.Spec, axis string, v float64) {
 	}
 }
 
-// fixture is the shared read-only scenario of one (variant, seed) group.
+// fixture is the shared read-only scenario of one (variant, seed) group:
+// the full trace/topology pair, the symmetry geometry (nil when the spec
+// does not admit exact collapse), or both when the group mixes collapsible
+// and coupled schemes.
 type fixture struct {
-	tr *trace.Trace
-	tp *topology.Topology
+	tr   *trace.Trace
+	tp   *topology.Topology
+	geom *collapseGeometry
 }
 
-// buildFixture generates the trace and topology for one variant at one
-// seed. Deterministic in (variant spec, seed).
-func buildFixture(sp dsl.Spec, seed int64) (*fixture, error) {
+// buildFixture generates one variant's scenario at one seed. Deterministic
+// in (variant spec, seed). needFull/needQuot select which of the two
+// scenario shapes to materialize — skipping the full city-scale trace is
+// where collapse earns its speedup — but the collapse *geometry* is always
+// derived when the spec admits it, so reduced rows carry the same
+// collapsed_classes value whether or not collapse actually runs. A spec
+// that turns out not to collapse (geom == nil) falls back to the full
+// scenario regardless of needFull.
+func buildFixture(sp dsl.Spec, seed int64, needFull, needQuot bool) (*fixture, error) {
+	g, err := buildGraph(sp, seed)
+	if err != nil {
+		return nil, err
+	}
+	f := &fixture{geom: buildGeometry(sp, seed, g)}
+	if f.geom == nil {
+		needFull = true
+	} else if needQuot {
+		if err := f.geom.materialize(sp, seed); err != nil {
+			return nil, err
+		}
+	}
+	if !needFull {
+		return f, nil
+	}
 	cfg, err := traceConfig(sp, seed)
 	if err != nil {
 		return nil, err
@@ -177,11 +202,12 @@ func buildFixture(sp dsl.Spec, seed int64) (*fixture, error) {
 	if err != nil {
 		return nil, err
 	}
-	tp, err := buildTopology(sp, tr, seed)
+	tp, err := buildTopology(sp, tr, g, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &fixture{tr: tr, tp: tp}, nil
+	f.tr, f.tp = tr, tp
+	return f, nil
 }
 
 // traceConfig maps a trace spec to a generator config. Profile families
@@ -200,6 +226,9 @@ func traceConfig(sp dsl.Spec, seed int64) (trace.Config, error) {
 	}
 	cfg.Clients, cfg.APs = t.Clients, t.Gateways
 	cfg.Duration = sp.Duration
+	if t.Placement == "symmetric" {
+		cfg.Symmetric = true
+	}
 	// Profile parameters were resolved by dsl's WithDefaults: the pointers
 	// relevant to the chosen profile are non-nil in a normalized spec.
 	switch t.Profile {
@@ -213,25 +242,28 @@ func traceConfig(sp dsl.Spec, seed int64) (trace.Config, error) {
 	return cfg, nil
 }
 
-func buildTopology(sp dsl.Spec, tr *trace.Trace, seed int64) (*topology.Topology, error) {
+// buildGraph constructs the gateway adjacency graph of graph-backed
+// topology kinds. Binomial topologies have no explicit graph (coverage is
+// drawn per client) and return nil — which also rules them out of the
+// neighborhood canonicalization the collapse pass needs.
+func buildGraph(sp dsl.Spec, seed int64) (*topology.Graph, error) {
 	gws, mir := sp.Trace.Gateways, sp.Topology.MeanInRange
 	switch sp.Topology.Kind {
 	case "overlap":
-		g, err := topology.OverlapGraph(gws, mir, seed)
-		if err != nil {
-			return nil, err
-		}
-		return topology.FromOverlap(g, tr.ClientAP)
+		return topology.OverlapGraph(gws, mir, seed)
 	case "grid-city":
-		g, err := topology.GridCity(gws, mir, seed)
-		if err != nil {
-			return nil, err
-		}
-		return topology.FromOverlap(g, tr.ClientAP)
+		return topology.GridCity(gws, mir, seed)
 	case "binomial":
-		return topology.Binomial(gws, tr.ClientAP, mir, seed)
+		return nil, nil
 	}
 	return nil, fmt.Errorf("campaign: unknown topology kind %q", sp.Topology.Kind)
+}
+
+func buildTopology(sp dsl.Spec, tr *trace.Trace, g *topology.Graph, seed int64) (*topology.Topology, error) {
+	if g != nil {
+		return topology.FromOverlap(g, tr.ClientAP)
+	}
+	return topology.Binomial(sp.Trace.Gateways, tr.ClientAP, sp.Topology.MeanInRange, seed)
 }
 
 // shelf sizes the DSLAM: the spec's explicit shape, the paper's 4x12
@@ -255,14 +287,25 @@ func shelf(sp dsl.Spec) dsl.DSLAM {
 	return dsl.DSLAM{Cards: cards, PortsPerCard: 48}
 }
 
-// simConfig assembles the sim.Config of one cell over its fixture.
-func simConfig(v dsl.Spec, f *fixture, c Cell) sim.Config {
+// simConfig assembles the sim.Config of one cell over its fixture. A
+// collapsed cell runs the materialized quotient scenario with the engine
+// expansion plan (and the remapped failure schedule); the shelf is sized
+// for the full gateway count either way, so line-to-port assignment — and
+// with it every card-level draw — is identical in both shapes.
+func simConfig(v dsl.Spec, f *fixture, c Cell, collapsed bool) sim.Config {
 	cfg := sim.Config{
-		Trace: f.tr, Topo: f.tp,
 		Scheme: c.Scheme, Seed: c.Seed,
 		DSLAM: shelf(v), K: v.K,
 		IdleTimeout: v.IdleTimeout,
 	}
+	if collapsed {
+		cfg.Trace, cfg.Topo, cfg.Quotient = f.geom.tr, f.geom.tp, f.geom.plan
+		if v.Failures != nil {
+			cfg.Failures = f.geom.failures
+		}
+		return cfg
+	}
+	cfg.Trace, cfg.Topo = f.tr, f.tp
 	if v.Failures != nil {
 		cfg.Failures = failurePlan(v, c.Seed)
 	}
@@ -329,12 +372,20 @@ type Row struct {
 	StrandedS    float64  `json:"stranded_s,omitempty"`
 	Reconnects   int      `json:"reconnects,omitempty"`
 	Availability *float64 `json:"availability,omitempty"`
+
+	// CollapsedClasses is the number of gateway equivalence classes of a
+	// symmetry-eligible cell (0 when the cell cannot collapse). It is a
+	// property of the spec — set identically under collapse auto and off —
+	// never of how the cell happened to be simulated.
+	CollapsedClasses int `json:"collapsed_classes,omitempty"`
 }
 
 // reduce summarizes one simulation result into its manifest row.
 // withPower additionally keeps the hourly mean power series (requested by
-// the "power" output).
-func reduce(c Cell, duration float64, res *sim.Result, withPower bool) Row {
+// the "power" output). For a collapsed run every aggregate in res is
+// already expanded to the full scenario by the engine; only the per-flow
+// FCT list is still quotient-shaped and needs multiplicity weighting.
+func reduce(c Cell, duration float64, res *sim.Result, withPower bool, f *fixture, collapsed bool) Row {
 	const kWh = 3.6e6
 	row := Row{
 		Scenario:  c.Scenario,
@@ -349,7 +400,14 @@ func reduce(c Cell, duration float64, res *sim.Result, withPower bool) Row {
 	}
 	hours := duration / 3600
 	row.MeanOnlineGWs = round6(sim.MeanOver(res.OnlineGWs, 0, hours))
-	row.FCTP50, row.FCTP95 = fctPercentiles(res.FCT)
+	if collapsed {
+		row.FCTP50, row.FCTP95 = weightedFCTPercentiles(res.FCT, f.geom.flowWeights())
+	} else {
+		row.FCTP50, row.FCTP95 = fctPercentiles(res.FCT)
+	}
+	if f != nil && f.geom != nil && schemeCollapsible(c.Scheme) {
+		row.CollapsedClasses = len(f.geom.q.Classes)
+	}
 	if res.GatewayDownTime != nil {
 		row.StrandedS = round6(res.StrandedSeconds)
 		row.Reconnects = res.Reconnects

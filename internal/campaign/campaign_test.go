@@ -376,10 +376,11 @@ func TestFailureCampaignDeterministic(t *testing.T) {
 	if !strings.Contains(string(sum), "availability") {
 		t.Error("summary.csv missing robustness columns")
 	}
-	// Every data row of a failure campaign carries a non-blank availability.
+	// Every data row of a failure campaign carries a non-blank availability
+	// (second-to-last column; collapsed_classes is last).
 	for _, row := range strings.Split(strings.TrimSpace(string(sum)), "\n")[1:] {
 		cols := strings.Split(row, ",")
-		if cols[len(cols)-1] == "" {
+		if cols[len(cols)-2] == "" {
 			t.Errorf("failure-campaign row missing availability: %q", row)
 		}
 	}
@@ -510,7 +511,7 @@ func TestProfileFamilies(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.profile, err)
 		}
-		f, err := buildFixture(p.variants[0].spec, 5)
+		f, err := buildFixture(p.variants[0].spec, 5, true, false)
 		if err != nil {
 			t.Fatalf("%s/%s: %v", tc.profile, tc.topo, err)
 		}

@@ -39,6 +39,12 @@ type Options struct {
 	// Resume an existing manifest is an error — a campaign does not
 	// silently overwrite another's checkpoint.
 	Resume bool
+	// Collapse overrides the spec's collapse key: "auto" simulates
+	// symmetry-eligible cells on their quotient scenario, "off" forces
+	// full simulation everywhere, "" defers to the spec (whose own default
+	// is auto). Artifacts are byte-identical under both modes — collapse
+	// only changes how much work producing them takes.
+	Collapse string
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 
@@ -172,6 +178,26 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 			groups = append(groups, k)
 		}
 	}
+	// Decide per group which scenario shapes its cells need. With collapse
+	// on, a group whose pending cells are all collapsible schemes never
+	// generates its full city-scale trace — the bulk of the speedup on
+	// symmetric sweeps.
+	type needs struct{ full, quot bool }
+	need := make(map[groupKey]*needs, len(groups))
+	for _, c := range pending {
+		k := groupKey{c.variant, c.Seed}
+		n := need[k]
+		if n == nil {
+			n = &needs{}
+			need[k] = n
+		}
+		mode := collapseMode(opts.Collapse, p.variants[c.variant].spec.Collapse)
+		if mode == "auto" && schemeCollapsible(c.Scheme) {
+			n.quot = true
+		} else {
+			n.full = true
+		}
+	}
 	logf("generating %d scenario fixture(s)...", len(groups))
 	fixtures := make(map[groupKey]*fixture, len(groups))
 	var (
@@ -185,7 +211,8 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 		sem <- struct{}{}
 		go func(i int, k groupKey) {
 			defer func() { <-sem; wg.Done() }()
-			f, err := buildFixture(p.variants[k.variant].spec, k.seed)
+			n := need[k]
+			f, err := buildFixture(p.variants[k.variant].spec, k.seed, n.full, n.quot)
 			if err != nil {
 				errs[i] = fmt.Errorf("campaign: scenario %s seed %d: %w", p.variants[k.variant].label, k.seed, err)
 				return
@@ -201,6 +228,12 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 			return nil, err
 		}
 	}
+	for _, k := range groups {
+		if g := fixtures[k].geom; g != nil && need[k].quot {
+			logf("  scenario %s seed %d: collapsed %d gateways -> %d classes",
+				p.variants[k.variant].label, k.seed, g.q.FullGateways, len(g.q.Classes))
+		}
+	}
 
 	mf, err := openManifest(manifestPath, p, len(done) > 0)
 	if err != nil {
@@ -209,9 +242,13 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 	defer mf.Close()
 
 	jobs := make([]runner.Job, len(pending))
+	collapsed := make([]bool, len(pending))
 	for i, c := range pending {
 		v := p.variants[c.variant].spec
-		cfg := simConfig(v, fixtures[groupKey{c.variant, c.Seed}], c)
+		f := fixtures[groupKey{c.variant, c.Seed}]
+		mode := collapseMode(opts.Collapse, v.Collapse)
+		collapsed[i] = mode == "auto" && schemeCollapsible(c.Scheme) && f.geom != nil
+		cfg := simConfig(v, f, c, collapsed[i])
 		cfg.Shards = engineShards(opts.Shards, v.Shards, opts.Workers, len(pending))
 		jobs[i] = runner.Job{Name: c.Key(), Config: cfg}
 	}
@@ -220,7 +257,7 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 	var emitErr error
 	// emit checkpoints one outcome: a row entry on success, an error entry
 	// on failure (so an interrupted run re-executes the cell on resume).
-	emit := func(c Cell, o runner.Outcome) bool {
+	emit := func(i int, c Cell, o runner.Outcome) bool {
 		if emitErr != nil {
 			return false
 		}
@@ -228,7 +265,8 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 		if o.Err != nil {
 			e.Error = o.Err.Error()
 		} else {
-			row := reduce(c, p.variants[c.variant].spec.Duration, o.Result, withPower)
+			f := fixtures[groupKey{c.variant, c.Seed}]
+			row := reduce(c, p.variants[c.variant].spec.Duration, o.Result, withPower, f, collapsed[i])
 			done[c.Key()] = row
 			e.Row = &row
 		}
@@ -246,7 +284,7 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 	var failedIdx []int
 	pool.RunStream(jobs, func(i int, o runner.Outcome) {
 		c := pending[i]
-		if !emit(c, o) {
+		if !emit(i, c, o) {
 			if o.Err != nil && emitErr == nil {
 				failedIdx = append(failedIdx, i)
 				logf("  [%d/%d] %s FAILED: %s", len(done), len(p.Cells), c.Key(), firstLine(o.Err.Error()))
@@ -269,8 +307,9 @@ func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath stri
 			retry[ri] = jobs[i]
 		}
 		pool.RunStream(retry, func(ri int, o runner.Outcome) {
-			c := pending[failedIdx[ri]]
-			if emit(c, o) {
+			i := failedIdx[ri]
+			c := pending[i]
+			if emit(i, c, o) {
 				logf("  [%d/%d] %s (retry)", len(done), len(p.Cells), c.Key())
 			} else if o.Err != nil && emitErr == nil {
 				failed[c.Key()] = o.Err.Error()
@@ -478,7 +517,7 @@ func writeSummaryCSV(w io.Writer, rows []Row) error {
 	if err := cw.Write([]string{
 		"scenario", "scheme", "seed", "energy_kwh", "user_kwh", "isp_kwh",
 		"savings_pct", "wakeups", "moves", "resolves", "mean_online_gws", "fct_p50_s", "fct_p95_s",
-		"stranded_s", "reconnects", "availability",
+		"stranded_s", "reconnects", "availability", "collapsed_classes",
 	}); err != nil {
 		return err
 	}
@@ -495,12 +534,16 @@ func writeSummaryCSV(w io.Writer, rows []Row) error {
 			reconn = strconv.Itoa(r.Reconnects)
 			avail = fmtF(*r.Availability)
 		}
+		classes := ""
+		if r.CollapsedClasses > 0 {
+			classes = strconv.Itoa(r.CollapsedClasses)
+		}
 		rec := []string{
 			r.Scenario, r.Scheme, strconv.FormatInt(r.Seed, 10),
 			fmtF(r.EnergyKWh), fmtF(r.UserKWh), fmtF(r.ISPKWh), savings,
 			strconv.Itoa(r.Wakeups), strconv.Itoa(r.Moves), strconv.Itoa(r.Resolves),
 			fmtF(r.MeanOnlineGWs), fmtF(r.FCTP50), fmtF(r.FCTP95),
-			stranded, reconn, avail,
+			stranded, reconn, avail, classes,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -75,6 +75,13 @@ type Spec struct {
 	// leaves idle. Results are byte-identical at every value, so the key
 	// trades wall-clock only, never fidelity.
 	Shards int `json:"shards,omitempty"`
+	// Collapse controls the campaign's symmetry-collapse pass: "auto" (and
+	// the "" default, kept unfilled so pre-existing spec hashes are stable)
+	// collapses cells into their gateway-equivalence quotient whenever the
+	// collapse is provably exact — which requires `placement: symmetric` —
+	// and "off" always simulates the full scenario. Artifacts are
+	// byte-identical either way; the key trades wall-clock only.
+	Collapse string `json:"collapse,omitempty"`
 
 	Trace    TraceSpec `json:"trace"`
 	Topology TopoSpec  `json:"topology,omitempty"`
@@ -107,6 +114,14 @@ type TraceSpec struct {
 	// Clients and Gateways size the scenario; Clients >= Gateways.
 	Clients  int `json:"clients"`
 	Gateways int `json:"gateways"`
+
+	// Placement controls client-to-gateway association: "shuffled" (and
+	// the "" default, kept unfilled so pre-existing spec hashes are
+	// stable) uses the profile's seeded shuffled round-robin, "symmetric"
+	// pins client c to gateway c%gateways with slot-keyed RNG streams so
+	// equal-count gateways carry byte-identical workloads — the
+	// prerequisite for the campaign's exact symmetry collapse.
+	Placement string `json:"placement,omitempty"`
 
 	// Flash-crowd parameters (profile "flash-crowd"): the surge starts at
 	// FlashHour o'clock, lasts FlashHours and multiplies the online
@@ -270,6 +285,11 @@ func (s Spec) WithDefaults() (Spec, error) {
 	if s.Shards < 0 {
 		return s, fmt.Errorf("dsl: negative shards %d", s.Shards)
 	}
+	switch s.Collapse {
+	case "", "auto", "off":
+	default:
+		return s, fmt.Errorf("dsl: unknown collapse mode %q (known: auto, off)", s.Collapse)
+	}
 
 	if err := s.Trace.normalize(); err != nil {
 		return s, err
@@ -339,6 +359,11 @@ func (t *TraceSpec) normalize() error {
 	}
 	if t.Clients < t.Gateways {
 		return fmt.Errorf("dsl: fewer clients (%d) than gateways (%d)", t.Clients, t.Gateways)
+	}
+	switch t.Placement {
+	case "", "shuffled", "symmetric":
+	default:
+		return fmt.Errorf("dsl: unknown placement %q (known: shuffled, symmetric)", t.Placement)
 	}
 	switch t.Profile {
 	case "flash-crowd":

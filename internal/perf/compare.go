@@ -10,7 +10,7 @@ import (
 // allows.
 type Regression struct {
 	Name   string  // entry name
-	Metric string  // "wall_seconds" or "alloc_bytes"
+	Metric string  // "wall_seconds", "alloc_bytes" or "speedup"
 	Old    float64 // reference value
 	New    float64 // measured value
 }
@@ -56,6 +56,13 @@ func Compare(ref, fresh *Report, wallTol, allocTol float64) (regs []Regression, 
 		}
 		if allocTol >= 0 && o.AllocBytes > 0 && float64(e.AllocBytes) > float64(o.AllocBytes)*(1+allocTol) {
 			regs = append(regs, Regression{e.Name, "alloc_bytes", float64(o.AllocBytes), float64(e.AllocBytes)})
+		}
+		// A "speedup" metric (collapsed-vs-full wall ratio) is higher-is-
+		// better and, being a same-machine ratio, hardware cancels out — so
+		// it gates at the tight allocTol even when wallTol is loosened for
+		// cross-machine comparisons.
+		if os, es := o.Metrics["speedup"], e.Metrics["speedup"]; allocTol >= 0 && os > 0 && es > 0 && es < os/(1+allocTol) {
+			regs = append(regs, Regression{e.Name, "speedup", os, es})
 		}
 	}
 	for _, e := range ref.Entries {

@@ -70,6 +70,28 @@ func TestCompareSkipsUnmatchedEntries(t *testing.T) {
 	}
 }
 
+func TestCompareSpeedupMetric(t *testing.T) {
+	ref := report(Entry{Name: "a", Scenario: "s", WallSeconds: 1, AllocBytes: 100,
+		Metrics: map[string]float64{"speedup": 40}})
+	// Speedup is higher-is-better: a drop beyond allocTol regresses even
+	// when wall and allocs improved.
+	fresh := report(Entry{Name: "a", Scenario: "s", WallSeconds: 0.5, AllocBytes: 100,
+		Metrics: map[string]float64{"speedup": 20}})
+	regs, _ := Compare(ref, fresh, 0.35, 0.35)
+	if len(regs) != 1 || regs[0].Metric != "speedup" {
+		t.Fatalf("speedup drop should regress: %v", regs)
+	}
+	// A higher speedup, or an entry without the metric, passes.
+	fresh.Entries[0].Metrics["speedup"] = 60
+	if regs, _ := Compare(ref, fresh, 0.35, 0.35); len(regs) != 0 {
+		t.Errorf("improved speedup should pass, got %v", regs)
+	}
+	fresh.Entries[0].Metrics = nil
+	if regs, _ := Compare(ref, fresh, 0.35, 0.35); len(regs) != 0 {
+		t.Errorf("missing speedup metric should pass, got %v", regs)
+	}
+}
+
 func TestNewestRecord(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"BENCH_2026-01-05.json", "BENCH_2026-07-29.json", "BENCH_2025-12-31.json", "notabench.json"} {

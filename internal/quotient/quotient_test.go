@@ -1,0 +1,118 @@
+package quotient
+
+import (
+	"testing"
+
+	"insomnia/internal/topology"
+)
+
+// TestPartitionGrid partitions a plain 5x5 grid (3 neighborhood classes)
+// with uniform client counts and checks class structure and ordering.
+func TestPartitionGrid(t *testing.T) {
+	g, err := topology.GridCity(25, 4.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoods := g.NeighborhoodHashes()
+	counts := SymmetricCounts(100, 25) // uniform: 4 each
+	classes := Partition(hoods, counts, nil)
+	if len(classes) != 3 {
+		t.Fatalf("got %d classes, want 3: %+v", len(classes), classes)
+	}
+	total := 0
+	for _, c := range classes {
+		if c.Clients != 4 {
+			t.Fatalf("class clients %d, want 4", c.Clients)
+		}
+		for i := 1; i < len(c.Members); i++ {
+			if c.Members[i] <= c.Members[i-1] {
+				t.Fatalf("members not ascending: %v", c.Members)
+			}
+		}
+		total += len(c.Members)
+	}
+	if total != 25 {
+		t.Fatalf("classes cover %d gateways, want 25", total)
+	}
+}
+
+// TestPartitionOrdering pins the ceil-count-first ordering: with clients
+// not divisible by gateways, the larger-count classes must come first so
+// the round-robin invariant holds.
+func TestPartitionOrdering(t *testing.T) {
+	// 4 gateways, all same neighborhood, 10 clients: counts 3,3,2,2.
+	hoods := []uint64{7, 7, 7, 7}
+	counts := SymmetricCounts(10, 4)
+	classes := Partition(hoods, counts, nil)
+	if len(classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(classes))
+	}
+	if classes[0].Clients != 3 || classes[1].Clients != 2 {
+		t.Fatalf("ordering wrong: %+v", classes)
+	}
+	q, err := Build(classes, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Clients != 5 { // 3 + 2
+		t.Fatalf("quotient clients %d, want 5", q.Clients)
+	}
+	// Round-robin of 5 clients over 2 reps: 3 and 2. Verified by Build.
+	if q.Weight[0] != 2 || q.Weight[1] != 2 {
+		t.Fatalf("weights %v, want [2 2]", q.Weight)
+	}
+}
+
+// TestForcedSingletons checks failure-affected gateways never merge.
+func TestForcedSingletons(t *testing.T) {
+	hoods := []uint64{7, 7, 7, 7}
+	counts := []int{2, 2, 2, 2}
+	forced := []bool{false, true, true, false}
+	classes := Partition(hoods, counts, forced)
+	if len(classes) != 3 {
+		t.Fatalf("got %d classes, want 3 (merged pair + 2 singletons): %+v", len(classes), classes)
+	}
+	for _, c := range classes {
+		for _, g := range c.Members {
+			if forced[g] && len(c.Members) != 1 {
+				t.Fatalf("forced gateway %d merged into %v", g, c.Members)
+			}
+		}
+	}
+}
+
+// TestFullClientOf checks the client mapping reproduces the full scenario's
+// (gateway, slot) structure.
+func TestFullClientOf(t *testing.T) {
+	hoods := []uint64{1, 1, 2, 2}
+	counts := SymmetricCounts(8, 4) // uniform 2
+	classes := Partition(hoods, counts, nil)
+	q, err := Build(classes, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := q.FullClientOf()
+	if len(m) != 8 {
+		t.Fatalf("len %d, want 8", len(m))
+	}
+	r := len(q.Classes)
+	for c, qc := range m {
+		home, slot := c%4, c/4
+		wantHome := q.FullHome[home]
+		if int(qc)%r != int(wantHome) || int(qc)/r != slot {
+			t.Fatalf("client %d -> quotient %d, want home %d slot %d", c, qc, wantHome, slot)
+		}
+	}
+}
+
+// TestBuildRejectsBrokenInvariant: a partition whose counts cannot be
+// reproduced by round-robin placement must be rejected.
+func TestBuildRejectsBrokenInvariant(t *testing.T) {
+	classes := []Class{
+		{Members: []int{0, 1}, Clients: 4},
+		{Members: []int{2, 3}, Clients: 1},
+	}
+	if _, err := Build(classes, 4, 10); err == nil {
+		t.Fatal("Build should reject a non-round-robin count profile")
+	}
+}

@@ -554,13 +554,15 @@ func (s *sim) tick() {
 	var userW, ispW float64
 	online := 0
 	awake := 0
+	fullAwake := 0 // multiplicity-weighted awake count (quotient runs)
 	for si := range s.shards {
 		sh := &s.shards[si]
 		awake += sh.awakeN
 		for w, word := range sh.bits {
 			base := sh.lo + w<<6
 			for word != 0 {
-				g := &s.gws[base+bits.TrailingZeros64(word)]
+				gwID := base + bits.TrailingZeros64(word)
+				g := &s.gws[gwID]
 				word &= word - 1
 				if !prepped {
 					g.ctl.Advance(s.now)
@@ -569,11 +571,25 @@ func (s *sim) tick() {
 					s.elapse(g, s.now)
 					g.est.Observe(s.now, g.sn.Value())
 				}
-				if g.ctl.State() != power.Sleeping {
-					online++
+				if s.weight == nil {
+					if g.ctl.State() != power.Sleeping {
+						online++
+					}
+					userW += g.ctl.Device().DrawW()
+					ispW += g.modem.DrawW()
+				} else {
+					// Quotient run: gateway gwID stands for weight[gwID]
+					// identically-behaving full gateways. The draw terms
+					// are integer watt constants, so the weighted product
+					// equals the full run's repeated additions exactly.
+					mult := s.weight[gwID]
+					if g.ctl.State() != power.Sleeping {
+						online += int(mult)
+					}
+					userW += mult * g.ctl.Device().DrawW()
+					ispW += mult * g.modem.DrawW()
+					fullAwake += int(mult)
 				}
-				userW += g.ctl.Device().DrawW()
-				ispW += g.modem.DrawW()
 			}
 		}
 	}
@@ -584,6 +600,9 @@ func (s *sim) tick() {
 	// the dense loop's interleaved additions; if SleepWatts ever becomes
 	// nonzero this stays correct but float summation order changes.
 	nSleep := float64(len(s.gws) - awake)
+	if s.weight != nil {
+		nSleep = float64(s.cfg.Quotient.FullGateways - fullAwake)
+	}
 	userW += nSleep * power.SleepWatts
 	ispW += nSleep * power.SleepWatts
 	for _, cd := range s.cards {
@@ -642,12 +661,29 @@ func (s *sim) result() *Result {
 			res.FlowStall[i] = nan
 		}
 	}
-	for gwID := range s.gws {
-		g := &s.gws[gwID]
-		res.GatewayOnTime[gwID] = g.ctl.Device().OnTimeAt(s.end)
-		res.Energy.UserJ += g.ctl.Device().EnergyAt(s.end)
-		res.Energy.ISPJ += g.modem.EnergyAt(s.end)
-		res.Wakeups += g.ctl.Device().Wakeups()
+	if qp := s.cfg.Quotient; qp != nil {
+		// Expand to the full scenario's shape, folding the energy sums in
+		// ascending full gateway id order: the addend sequence is then
+		// identical to the full run's (class members behave identically),
+		// so the float sums are bit-exact, not just algebraically equal.
+		// Device reads at a fixed time are idempotent, so re-reading the
+		// representative once per mirrored line is safe.
+		res.GatewayOnTime = make([]float64, qp.FullGateways)
+		for line, q := range qp.FullHome {
+			g := &s.gws[q]
+			res.GatewayOnTime[line] = g.ctl.Device().OnTimeAt(s.end)
+			res.Energy.UserJ += g.ctl.Device().EnergyAt(s.end)
+			res.Energy.ISPJ += g.modem.EnergyAt(s.end)
+			res.Wakeups += g.ctl.Device().Wakeups()
+		}
+	} else {
+		for gwID := range s.gws {
+			g := &s.gws[gwID]
+			res.GatewayOnTime[gwID] = g.ctl.Device().OnTimeAt(s.end)
+			res.Energy.UserJ += g.ctl.Device().EnergyAt(s.end)
+			res.Energy.ISPJ += g.modem.EnergyAt(s.end)
+			res.Wakeups += g.ctl.Device().Wakeups()
+		}
 	}
 	for _, cd := range s.cards {
 		res.Energy.ISPJ += cd.EnergyAt(s.end)
@@ -670,10 +706,30 @@ func (s *sim) result() *Result {
 		}
 		var strandedSec, recSec float64
 		recN := 0
-		for c := range s.strandedSec {
-			strandedSec += s.strandedSec[c]
-			recSec += s.reconnSec[c]
-			recN += int(s.reconnN[c])
+		nClients := float64(len(s.clients))
+		if qp := s.cfg.Quotient; qp != nil {
+			// Fold through the full scenario's client id order. Collapse
+			// eligibility forces failure-affected gateways into singleton
+			// classes, so every nonzero accumulator maps 1:1 onto a full
+			// client and the addend sequence matches the full run's.
+			for _, qc := range qp.FullClientOf {
+				strandedSec += s.strandedSec[qc]
+				recSec += s.reconnSec[qc]
+				recN += int(s.reconnN[qc])
+			}
+			nClients = float64(qp.FullClients)
+			dt := make([]float64, qp.FullGateways)
+			for line, q := range qp.FullHome {
+				dt[line] = s.downTime[q]
+			}
+			res.GatewayDownTime = dt
+		} else {
+			for c := range s.strandedSec {
+				strandedSec += s.strandedSec[c]
+				recSec += s.reconnSec[c]
+				recN += int(s.reconnN[c])
+			}
+			res.GatewayDownTime = s.downTime
 		}
 		res.Failures = s.failures
 		res.FlowsAborted = s.flowsAborted
@@ -682,10 +738,9 @@ func (s *sim) result() *Result {
 		if recN > 0 {
 			res.MeanRecoveryS = recSec / float64(recN)
 		}
-		if n := float64(len(s.clients)) * s.end; n > 0 {
+		if n := nClients * s.end; n > 0 {
 			res.Availability = 1 - strandedSec/n
 		}
-		res.GatewayDownTime = s.downTime
 		res.StrandedClients = s.strandedTS
 	}
 	return res

@@ -48,6 +48,26 @@ type OutageWindow struct {
 	DurationSec float64
 	FromGW      int
 	ToGW        int
+
+	// Gateways, when non-empty, replaces the contiguous [FromGW, ToGW)
+	// range with an explicit gateway list; the range fields are ignored.
+	// The reboot draws consume the 0xfa11 stream in list order, so callers
+	// remapping gateway ids (the campaign symmetry-collapse pass, whose
+	// quotient ids are not contiguous) keep the list in the original
+	// scenario's ascending id order to reproduce its draw sequence.
+	Gateways []int
+}
+
+// gateways returns the affected gateway ids in draw order.
+func (o OutageWindow) gateways() []int {
+	if len(o.Gateways) > 0 {
+		return o.Gateways
+	}
+	gws := make([]int, 0, o.ToGW-o.FromGW)
+	for gw := o.FromGW; gw < o.ToGW; gw++ {
+		gws = append(gws, gw)
+	}
+	return gws
 }
 
 // FailurePlan is the failure schedule for one run. The zero value injects
@@ -103,7 +123,13 @@ func (p FailurePlan) normalized(nGW int) (FailurePlan, error) {
 		if o.DurationSec <= 0 || math.IsNaN(o.DurationSec) || math.IsInf(o.DurationSec, 0) {
 			return p, fmt.Errorf("sim: outage %d has invalid duration %v", i, o.DurationSec)
 		}
-		if o.FromGW < 0 || o.ToGW > nGW || o.FromGW >= o.ToGW {
+		if len(o.Gateways) > 0 {
+			for _, gw := range o.Gateways {
+				if gw < 0 || gw >= nGW {
+					return p, fmt.Errorf("sim: outage %d targets gateway %d of %d", i, gw, nGW)
+				}
+			}
+		} else if o.FromGW < 0 || o.ToGW > nGW || o.FromGW >= o.ToGW {
 			return p, fmt.Errorf("sim: outage %d covers invalid gateway range [%d,%d) of %d", i, o.FromGW, o.ToGW, nGW)
 		}
 	}
@@ -140,7 +166,7 @@ func buildFailSchedule(p FailurePlan, seed int64) []failEvent {
 			failEvent{t: c.At + reboot, gw: int32(c.Gateway), up: true})
 	}
 	for _, o := range p.Outages {
-		for gw := o.FromGW; gw < o.ToGW; gw++ {
+		for _, gw := range o.gateways() {
 			sched = append(sched,
 				failEvent{t: o.Start, gw: int32(gw)},
 				failEvent{t: o.Start + o.DurationSec + draw(), gw: int32(gw), up: true})

@@ -22,10 +22,12 @@ func (noSleepScheme) newPolicy(cfg Config) (kswitch.Policy, error) {
 	return fixedFabric.build(cfg)
 }
 
-// postInit marks every line active so cards and modems never sleep.
+// postInit marks every line active so cards and modems never sleep. Under
+// a quotient run that is every full-scenario line (via applyLineOp's
+// mirror fan-out), not just the simulated representatives.
 func (noSleepScheme) postInit(s *sim) {
 	for g := range s.gws {
-		s.policy.OnWake(g)
+		s.applyLineOp(g, true, 0)
 	}
 	for cd := range s.cardOn {
 		s.cardOn[cd] = true

@@ -205,12 +205,7 @@ func (s *sim) drainSinks() {
 		}
 		op := s.shards[best].sinks[idx[best]]
 		idx[best]++
-		if op.wake {
-			s.policy.OnWake(int(op.gw))
-		} else {
-			s.policy.OnSleep(int(op.gw))
-		}
-		s.updateCards(op.t)
+		s.applyLineOp(int(op.gw), op.wake, op.t)
 	}
 	for si := range s.shards {
 		s.shards[si].sinks = s.shards[si].sinks[:0]
@@ -224,8 +219,7 @@ func (s *sim) lineWake(sh *shard, gw int, t float64) {
 		sh.sinks = append(sh.sinks, sinkOp{t: t, gw: int32(gw), wake: true})
 		return
 	}
-	s.policy.OnWake(gw)
-	s.updateCards(t)
+	s.applyLineOp(gw, true, t)
 }
 
 // lineSleep is the inactive counterpart of lineWake.
@@ -234,7 +228,33 @@ func (s *sim) lineSleep(sh *shard, gw int, t float64) {
 		sh.sinks = append(sh.sinks, sinkOp{t: t, gw: int32(gw), wake: false})
 		return
 	}
-	s.policy.OnSleep(gw)
+	s.applyLineOp(gw, false, t)
+}
+
+// applyLineOp applies one gateway's line wake/sleep to the shared switch
+// fabric and reconciles the line cards. Under a quotient run the op fans
+// out over every full-scenario line the gateway stands for — the mirrored
+// lines transition at the same instant, and the fabrics the collapse pass
+// admits (fixed, full-switch) derive card states from the active-line set
+// alone, so one card reconciliation after the batch reproduces the full
+// run's card energy exactly (same-instant transients integrate to zero).
+func (s *sim) applyLineOp(gw int, wake bool, t float64) {
+	if s.mirror == nil {
+		if wake {
+			s.policy.OnWake(gw)
+		} else {
+			s.policy.OnSleep(gw)
+		}
+		s.updateCards(t)
+		return
+	}
+	for _, line := range s.mirror[gw] {
+		if wake {
+			s.policy.OnWake(int(line))
+		} else {
+			s.policy.OnSleep(int(line))
+		}
+	}
 	s.updateCards(t)
 }
 

@@ -119,9 +119,73 @@ type Config struct {
 	// wall-clock only, never fidelity.
 	Shards int
 
+	// Quotient marks this run as the collapsed form of a larger symmetric
+	// scenario (internal/quotient): gateway q of this run stands for every
+	// full-scenario gateway g with Quotient.FullHome[g] == q. The DSLAM,
+	// PortOf and switch policy stay full-sized — each wake/sleep of q fans
+	// out over its mirrored lines — and Result is expanded back to the full
+	// scenario's shape with bit-exact accounting. Only the uncoupled
+	// schemes (NoSleep, SoI, SoIFullSwitch) accept a plan; everything else
+	// errors, because their cross-gateway coupling (shared RNG streams,
+	// k-switch remap order, global re-solves) breaks the class symmetry.
+	Quotient *QuotientPlan
+
 	// DebugDecisions, when set, observes every BH2 decision (diagnostics
 	// and tests only).
 	DebugDecisions func(t float64, client int, views []bh2.GatewayView, d bh2.Decision)
+}
+
+// QuotientPlan describes how a collapsed run maps back onto the full
+// symmetric scenario it stands for. The campaign collapse pass builds one
+// from internal/quotient; the engine only consumes it.
+type QuotientPlan struct {
+	// FullGateways and FullClients size the full scenario. The DSLAM must
+	// have at least FullGateways ports: the shelf carries every full line.
+	FullGateways int
+	FullClients  int
+	// FullHome[g] is the quotient gateway (class index) standing for full
+	// gateway g. Ascending iteration over FullHome is the full scenario's
+	// gateway id order — result() folds energy and wakeups in exactly that
+	// order so the float sums are bit-identical to the full run's.
+	FullHome []int32
+	// FullClientOf[c] is the quotient client standing for full client c.
+	// Failure runs fold the per-client stranded/reconnect accumulators
+	// through it in full client id order (again for bit-stable sums).
+	FullClientOf []int32
+}
+
+// validate checks a plan against the quotient topology sizes.
+func (qp *QuotientPlan) validate(nGW, nCl int) error {
+	if qp.FullGateways < nGW {
+		return fmt.Errorf("sim: quotient plan covers %d full gateways but the run has %d", qp.FullGateways, nGW)
+	}
+	if len(qp.FullHome) != qp.FullGateways {
+		return fmt.Errorf("sim: quotient FullHome has %d entries for %d full gateways", len(qp.FullHome), qp.FullGateways)
+	}
+	seen := make([]bool, nGW)
+	for g, q := range qp.FullHome {
+		if q < 0 || int(q) >= nGW {
+			return fmt.Errorf("sim: quotient FullHome[%d] = %d outside [0, %d)", g, q, nGW)
+		}
+		seen[q] = true
+	}
+	for q, ok := range seen {
+		if !ok {
+			return fmt.Errorf("sim: quotient gateway %d mirrors no full gateway", q)
+		}
+	}
+	if qp.FullClients < nCl {
+		return fmt.Errorf("sim: quotient plan covers %d full clients but the run has %d", qp.FullClients, nCl)
+	}
+	if len(qp.FullClientOf) != qp.FullClients {
+		return fmt.Errorf("sim: quotient FullClientOf has %d entries for %d full clients", len(qp.FullClientOf), qp.FullClients)
+	}
+	for c, qc := range qp.FullClientOf {
+		if qc < 0 || int(qc) >= nCl {
+			return fmt.Errorf("sim: quotient FullClientOf[%d] = %d outside [0, %d)", c, qc, nCl)
+		}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -140,11 +204,29 @@ func (c Config) withDefaults() (Config, error) {
 	if err := c.DSLAM.Validate(); err != nil {
 		return c, err
 	}
-	if c.DSLAM.Ports() < c.Topo.NumGateways {
-		return c, fmt.Errorf("sim: %d gateways exceed %d DSLAM ports", c.Topo.NumGateways, c.DSLAM.Ports())
+	// Under a quotient plan the shelf carries the full scenario's lines:
+	// the port wiring, card population and policy are full-sized even
+	// though only one gateway per class is simulated.
+	nLines := c.Topo.NumGateways
+	if c.Quotient != nil {
+		if err := c.Quotient.validate(c.Topo.NumGateways, c.Topo.NumClients()); err != nil {
+			return c, err
+		}
+		switch c.Scheme {
+		case NoSleep, SoI, SoIFullSwitch:
+		default:
+			return c, fmt.Errorf("sim: scheme %v cannot run collapsed (cross-gateway coupling)", c.Scheme)
+		}
+		if c.RandomWake {
+			return c, fmt.Errorf("sim: RandomWake cannot run collapsed (shared wake-delay stream)")
+		}
+		nLines = c.Quotient.FullGateways
+	}
+	if c.DSLAM.Ports() < nLines {
+		return c, fmt.Errorf("sim: %d gateways exceed %d DSLAM ports", nLines, c.DSLAM.Ports())
 	}
 	if c.PortOf == nil {
-		p, err := dsl.RandomAssignment(c.DSLAM, c.Topo.NumGateways, c.Seed)
+		p, err := dsl.RandomAssignment(c.DSLAM, nLines, c.Seed)
 		if err != nil {
 			return c, err
 		}

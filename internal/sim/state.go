@@ -175,6 +175,14 @@ type sim struct {
 	pool    *shardPool
 	sinkIdx []int // drainSinks merge cursors (reused across epochs)
 
+	// Quotient expansion (Config.Quotient non-nil, nil otherwise).
+	// mirror[q] lists the full-scenario line ids gateway q stands for,
+	// ascending; weight[q] is their multiplicity. Line wake/sleep ops fan
+	// out over the mirror (applyLineOp), and tick/result weight their
+	// per-gateway terms by the multiplicity.
+	mirror [][]int32
+	weight []float64
+
 	// needDemand gates the per-client demand accounting (clientBytes):
 	// only the coordinated schemes ever read it (demandInstance), so the
 	// hot transport path skips the accumulation — and the parallel tick
@@ -249,6 +257,14 @@ func newSim(cfg Config) (*sim, error) {
 	}
 	for c := range s.lastTraffic {
 		s.lastTraffic[c] = math.Inf(-1)
+	}
+	if qp := cfg.Quotient; qp != nil {
+		s.mirror = make([][]int32, nGW)
+		s.weight = make([]float64, nGW)
+		for line, q := range qp.FullHome {
+			s.mirror[q] = append(s.mirror[q], int32(line))
+			s.weight[q]++
+		}
 	}
 	s.mode = strat.parallelMode()
 	if cfg.RandomWake && s.mode == modeLocal {

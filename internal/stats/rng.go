@@ -12,6 +12,15 @@ func NewRNG(seed int64, stream uint64) *rand.Rand {
 	return rand.New(rand.NewSource(seed ^ int64(splitmix64(stream))))
 }
 
+// Reseed re-seeds r in place to the exact state a fresh
+// NewRNG(seed, stream) would start from, without allocating a new
+// generator. Hot loops that previously built one RNG per element (the
+// trace generator builds one per client) can instead reuse a single
+// generator: the draw sequences are bit-identical either way.
+func Reseed(r *rand.Rand, seed int64, stream uint64) {
+	r.Seed(seed ^ int64(splitmix64(stream)))
+}
+
 // splitmix64 is the standard 64-bit mixing function; it decorrelates the
 // stream label from the base seed.
 func splitmix64(x uint64) uint64 {

@@ -1,0 +1,104 @@
+package topology
+
+import "sort"
+
+// NeighborhoodHashes returns one deterministic hash per vertex that
+// canonicalizes the vertex's closed 1-ball — the subgraph induced by the
+// vertex and its neighbors, rooted at the vertex — up to isomorphism:
+// vertices with isomorphic rooted balls always receive equal hashes,
+// independent of vertex numbering. The hash is computed by
+// Weisfeiler-Leman color refinement inside the ball, so (as with any
+// WL-style canonicalization) distinct balls can in principle collide;
+// callers that need exactness, like the campaign symmetry-collapse pass,
+// must treat equal hashes as grouping candidates whose simulated behavior
+// is provably neighborhood-independent, never as a proof of isomorphism.
+//
+// Cost is O(sum over vertices of deg^2 * ball size); for the bounded-degree
+// graphs GridCity and OverlapGraph build this is linear in practice.
+func (g *Graph) NeighborhoodHashes() []uint64 {
+	n := g.N()
+	out := make([]uint64, n)
+	// pos maps a global vertex id to its local index within the current
+	// ball (-1 outside); reset after each vertex so the pass stays O(ball).
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	var (
+		ball      []int
+		adj       [][]int
+		col, next []uint64
+		buf       []uint64
+	)
+	for v := 0; v < n; v++ {
+		ball = append(ball[:0], v)
+		ball = append(ball, g.Adj[v]...)
+		for i, u := range ball {
+			pos[u] = i
+		}
+		adj = adj[:0]
+		for _, u := range ball {
+			var row []int
+			for _, w := range g.Adj[u] {
+				if j := pos[w]; j >= 0 {
+					row = append(row, j)
+				}
+			}
+			adj = append(adj, row)
+		}
+		// WL refinement: colors start as (is-root, ball degree) and each
+		// round folds in the sorted multiset of neighbor colors. A ball
+		// has diameter <= 2 through the root, but run enough rounds for
+		// colors to stabilize even on dense balls.
+		col = col[:0]
+		for i := range ball {
+			root := uint64(0)
+			if i == 0 {
+				root = 1
+			}
+			col = append(col, mix64(root<<32|uint64(len(adj[i]))))
+		}
+		next = append(next[:0], col...)
+		rounds := len(ball)
+		if rounds > 8 {
+			rounds = 8
+		}
+		for round := 0; round < rounds; round++ {
+			for i := range ball {
+				buf = buf[:0]
+				for _, j := range adj[i] {
+					buf = append(buf, col[j])
+				}
+				sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+				h := mix64(col[i])
+				for _, c := range buf {
+					h = mix64(h ^ mix64(c))
+				}
+				next[i] = h
+			}
+			col, next = next, col
+		}
+		// Final hash: the root's color plus the sorted color multiset of
+		// the whole ball — invariant under any relabeling of the ball.
+		buf = append(buf[:0], col...)
+		sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+		h := mix64(col[0])
+		for _, c := range buf {
+			h = mix64(h ^ mix64(c))
+		}
+		out[v] = h
+		for _, u := range ball {
+			pos[u] = -1
+		}
+	}
+	return out
+}
+
+// mix64 is the splitmix64 finalizer — a strong, dependency-free 64-bit
+// mixer for combining WL colors.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

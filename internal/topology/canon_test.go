@@ -1,0 +1,94 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestNeighborhoodHashesGrid pins the canonical class structure of a plain
+// orthogonal grid: every interior vertex (degree-4 star), every non-corner
+// boundary vertex (degree-3 star) and every corner (degree-2 star) share a
+// hash, and the three classes are mutually distinct.
+func TestNeighborhoodHashesGrid(t *testing.T) {
+	// 6x6 grid with meanInRange at the density floor => no diagonals.
+	g, err := GridCity(36, 4.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := g.NeighborhoodHashes()
+	classes := map[uint64][]int{}
+	for v, h := range hs {
+		classes[h] = append(classes[h], v)
+	}
+	if len(classes) != 3 {
+		t.Fatalf("6x6 grid: got %d neighborhood classes, want 3 (corner/edge/interior): %v", len(classes), classes)
+	}
+	sizes := map[int]int{}
+	for _, vs := range classes {
+		sizes[len(vs)]++
+	}
+	// 4 corners, 16 boundary non-corners, 16 interior.
+	if sizes[4] != 1 || sizes[16] != 2 {
+		t.Fatalf("6x6 grid class sizes wrong: %v", sizes)
+	}
+}
+
+// TestNeighborhoodHashesLabeling checks isomorphism invariance directly:
+// relabeling a graph permutes the hashes but preserves the multiset and
+// the per-vertex assignment under the permutation.
+func TestNeighborhoodHashesLabeling(t *testing.T) {
+	// A 5-cycle with one chord: vertices are structurally distinct enough
+	// to give several classes.
+	build := func(perm []int) *Graph {
+		g := &Graph{Adj: make([][]int, 5)}
+		edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}}
+		for _, e := range edges {
+			g.addEdge(perm[e[0]], perm[e[1]])
+		}
+		return g
+	}
+	id := []int{0, 1, 2, 3, 4}
+	perm := []int{3, 0, 4, 1, 2}
+	h1 := build(id).NeighborhoodHashes()
+	h2 := build(perm).NeighborhoodHashes()
+	for v := range id {
+		if h1[v] != h2[perm[v]] {
+			t.Fatalf("vertex %d: hash changed under relabeling: %x vs %x", v, h1[v], h2[perm[v]])
+		}
+	}
+	// And the chord endpoints must differ from the far vertex.
+	if h1[0] == h1[3] {
+		t.Fatal("structurally distinct vertices (chord endpoint vs far vertex) share a hash")
+	}
+}
+
+// TestGridCityMeanError is the table-driven error-path test: unreachable
+// mean in-range targets must name the computed maximum and the gateway
+// count so the caller can fix the spec without reading the source.
+func TestGridCityMeanError(t *testing.T) {
+	cases := []struct {
+		n    int
+		mean float64
+	}{
+		{9, 50},
+		{100, 8.5},
+		{2500, 9.2},
+	}
+	for _, tc := range cases {
+		_, err := GridCity(tc.n, tc.mean, 1)
+		if err == nil {
+			t.Fatalf("GridCity(%d, %v) should fail", tc.n, tc.mean)
+		}
+		msg := err.Error()
+		for _, want := range []string{
+			fmt.Sprintf("%d gateways", tc.n),
+			fmt.Sprintf("got %v", tc.mean),
+			"up to ~",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("GridCity(%d, %v) error %q does not mention %q", tc.n, tc.mean, msg, want)
+			}
+		}
+	}
+}

@@ -556,7 +556,8 @@ func GridCity(n int, meanInRange float64, seed int64) (*Graph, error) {
 		total += len(cand)
 	}
 	if max := float64(2*(edges+total)) / float64(n); want > max {
-		return nil, fmt.Errorf("topology: GridCity cannot reach mean in-range %v (max ~%.1f); use OverlapGraph", meanInRange, max+1)
+		return nil, fmt.Errorf("topology: GridCity with %d gateways supports mean in-range up to ~%.1f, got %v; lower mean_in_range or use OverlapGraph",
+			n, max+1, meanInRange)
 	}
 	r := stats.NewRNG(seed, 0xc17f)
 	for fi, diag := range []int{cols + 1, cols - 1} {

@@ -33,6 +33,15 @@ type Config struct {
 	// distribute the 272 clients over the 40 gateways").
 	ZipfS float64
 
+	// Symmetric switches the generator into exact-symmetry mode: clients
+	// are placed strictly round-robin (client c on AP c%APs, no shuffle)
+	// and each client's RNG stream is keyed by its slot c/APs instead of
+	// its global index. Gateways that serve the same number of clients
+	// then receive byte-identical workloads — the property the campaign
+	// symmetry-collapse pass (internal/quotient) relies on. Incompatible
+	// with ZipfS > 0.
+	Symmetric bool
+
 	// ClientWeightSigma adds per-client heterogeneity: each client's
 	// online propensity and traffic intensity are scaled by a lognormal
 	// factor with this sigma (mean 1). Zero means homogeneous clients.
@@ -191,10 +200,23 @@ func Generate(cfg Config) (*Trace, error) {
 	if cfg.Clients < cfg.APs {
 		return nil, fmt.Errorf("trace: fewer clients (%d) than APs (%d)", cfg.Clients, cfg.APs)
 	}
+	if cfg.Symmetric && cfg.ZipfS > 0 {
+		return nil, fmt.Errorf("trace: Symmetric placement is incompatible with ZipfS > 0")
+	}
 	tr := &Trace{Cfg: cfg, ClientAP: make([]int, cfg.Clients)}
+	if ef, ek := expectedEvents(cfg); ef > 0 || ek > 0 {
+		tr.Flows = make([]Flow, 0, ef)
+		tr.Keepalives = make([]Packet, 0, ek)
+	}
 
 	placeRNG := stats.NewRNG(cfg.Seed, 0x9a7e)
-	if cfg.ZipfS > 0 {
+	if cfg.Symmetric {
+		// Exact-symmetry placement: no RNG involvement, client c sits on
+		// AP c%APs so AP g's clients occupy slots 0..count(g)-1.
+		for c := 0; c < cfg.Clients; c++ {
+			tr.ClientAP[c] = c % cfg.APs
+		}
+	} else if cfg.ZipfS > 0 {
 		// Zipf AP popularity in a random AP order, but guarantee every AP
 		// at least one client so no gateway is structurally dead.
 		weights := make([]float64, cfg.APs)
@@ -220,8 +242,19 @@ func Generate(cfg Config) (*Trace, error) {
 		}
 	}
 
+	// One generator reseeded per client instead of one allocated per
+	// client: math/rand's source alone is ~5 KB, which at city scale
+	// (100k clients) accounted for most of the generator's heap churn.
+	// Reseed reproduces NewRNG's state exactly, so traces are unchanged.
+	r := stats.NewRNG(cfg.Seed, 0x1000)
 	for c := 0; c < cfg.Clients; c++ {
-		r := stats.NewRNG(cfg.Seed, 0x1000+uint64(c))
+		key := uint64(c)
+		if cfg.Symmetric {
+			// Slot-keyed streams: clients in the same slot on different
+			// APs draw identical event sequences (see Config.Symmetric).
+			key = uint64(c / cfg.APs)
+		}
+		stats.Reseed(r, cfg.Seed, 0x1000+key)
 		w := 1.0
 		if cfg.ClientWeightSigma > 0 {
 			s := cfg.ClientWeightSigma
@@ -232,6 +265,71 @@ func Generate(cfg Config) (*Trace, error) {
 	sort.Slice(tr.Flows, func(i, j int) bool { return tr.Flows[i].Start < tr.Flows[j].Start })
 	sort.Slice(tr.Keepalives, func(i, j int) bool { return tr.Keepalives[i].T < tr.Keepalives[j].T })
 	return tr, nil
+}
+
+// boundedParetoMean is the mean of the bounded Pareto(alpha, lo, hi)
+// distribution stats.Pareto draws from.
+func boundedParetoMean(alpha, lo, hi float64) float64 {
+	la, ha := math.Pow(lo, alpha), math.Pow(hi, alpha)
+	return la / (1 - la/ha) * alpha / (alpha - 1) *
+		(math.Pow(lo, 1-alpha) - math.Pow(hi, 1-alpha))
+}
+
+// expectedEvents estimates the flow and keepalive counts of a trace from
+// the generator's own calibrated process parameters, so Generate can size
+// its event slices once instead of growing them through doublings (at city
+// scale the wasted growth copies are tens of millions of events). The
+// estimate only controls capacity — a miss in either direction is
+// harmless — but it tracks the realized counts within ~20%.
+func expectedEvents(cfg Config) (flows, keepalives int) {
+	// Mean online fraction over the trace, sampled from the profile.
+	const samples = 96
+	mean := 0.0
+	for i := 0; i < samples; i++ {
+		mean += cfg.Profile.At((float64(i) + 0.5) * cfg.Duration / samples)
+	}
+	mean /= samples
+	if mean <= 0 {
+		return 0, 0
+	}
+	if s := cfg.ClientWeightSigma; s > 0 {
+		// Per-client weights are lognormal with mean 1, but the online
+		// fraction is capped at 0.98, so heavy users contribute less than
+		// weight*mean. Average min(mean*w, 0.98) over weight quantiles.
+		const wq = 32
+		capped := 0.0
+		for i := 0; i < wq; i++ {
+			p := (float64(i) + 0.5) / wq
+			w := math.Exp(-s*s/2 + s*math.Sqrt2*math.Erfinv(2*p-1))
+			capped += math.Min(mean*w, 0.98)
+		}
+		mean = capped / wq
+	}
+
+	// Event epochs happen during the engaged parts of online time, one per
+	// think gap (a lognormal/long-pause mixture; see thinkGap).
+	thinkMean := (1-longGapProb)*cfg.ThinkMedianSec*math.Exp(thinkSigma*thinkSigma/2) +
+		longGapProb*boundedParetoMean(longGapAlpha, longGapLo, longGapHi)
+	engagedFrac := engagedMeanSec /
+		(engagedMeanSec + boundedParetoMean(quietAlpha, quietLoSec, quietHiSec))
+	onlineSec := mean * cfg.Duration // per client
+	epochs := onlineSec * engagedFrac / thinkMean
+
+	flowsPer := epochs * cfg.FlowProb
+	if cfg.Uplink {
+		flowsPer *= 2 + uploadProb // every flow gets an ACK, some an upload
+	}
+	if cfg.StreamProb > 0 {
+		sessions := onlineSec/cfg.SessionMeanSec + mean
+		flowsPer += sessions * cfg.StreamProb * cfg.SessionMeanSec / streamChunkSec
+	}
+	kaPer := 0.0
+	if !cfg.FlowsOnly {
+		kaPer = epochs * (1 - cfg.FlowProb)
+	}
+	n := float64(cfg.Clients)
+	const headroom = 1.15
+	return int(n*flowsPer*headroom) + 64, int(n*kaPer*headroom) + 64
 }
 
 // genClient simulates one client's day: an on/off terminal-session process
