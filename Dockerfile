@@ -1,0 +1,18 @@
+# Multi-stage build for cmd/simd, the HTTP campaign server. The module
+# has no external dependencies, so the build stage needs nothing beyond
+# the Go toolchain; the runtime stage is distroless with one static
+# binary in it.
+FROM golang:1.23 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/simd ./cmd/simd \
+    && mkdir -p /out/data
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/simd /simd
+# Job state (specs, manifests, artifacts) lives under /data; mount a
+# volume there to keep campaigns resumable across container restarts.
+COPY --from=build --chown=nonroot:nonroot /out/data /data
+EXPOSE 8080
+ENTRYPOINT ["/simd", "-addr", ":8080", "-data", "/data"]

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -60,7 +61,7 @@ func benchSchemeComparison(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		jobs := runner.SchemeJobs(sim.Config{Trace: sc.Trace, Topo: sc.Topo, Seed: 2}, schemes)
-		outs := (runner.Runner{Workers: workers}).Run(jobs)
+		outs := (runner.Runner{Workers: workers}).Run(context.Background(), jobs)
 		if err := runner.FirstErr(outs); err != nil {
 			b.Fatal(err)
 		}

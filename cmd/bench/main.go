@@ -34,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -188,7 +189,7 @@ func benchComparison(rep *perf.Report, seed int64) error {
 	return rep.Measure("scheme-comparison-serial", scenario, func() (map[string]float64, error) {
 		schemes := []sim.Scheme{sim.NoSleep, sim.SoI, sim.SoIKSwitch, sim.BH2KSwitch}
 		jobs := runner.SchemeJobs(sim.Config{Trace: tr, Topo: tp, Seed: seed}, schemes)
-		outs := (runner.Runner{Workers: 1}).Run(jobs)
+		outs := (runner.Runner{Workers: 1}).Run(context.Background(), jobs)
 		if err := runner.FirstErr(outs); err != nil {
 			return nil, err
 		}
@@ -331,9 +332,13 @@ func benchCollapse(rep *perf.Report, seed int64, gws, clients int, duration floa
 		}
 		// One worker, one shard: both runs measure the same serial pipeline,
 		// so the ratio isolates the collapse itself.
-		return p.Run(campaign.Options{
+		job, err := p.Submit(context.Background(), campaign.Options{
 			Workers: 1, Shards: 1, OutDir: filepath.Join(tmp, mode), Collapse: mode,
 		})
+		if err != nil {
+			return nil, err
+		}
+		return job.Wait()
 	}
 	err = rep.Measure("city-sweep-full", scenario, func() (map[string]float64, error) {
 		if _, err := run("off"); err != nil {

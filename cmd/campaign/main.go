@@ -17,10 +17,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"insomnia/internal/campaign"
 	"insomnia/internal/cli"
@@ -127,16 +130,45 @@ func cmdRun(args []string) {
 		log.Fatalf("unknown -collapse mode %q (known: auto, off)", *collapse)
 	}
 	plan := loadPlan(specPath)
-	logf := log.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
-	}
-	res, err := plan.Run(campaign.Options{
+	// Ctrl-C cancels the job cleanly: in-flight cells abort at their next
+	// epoch barrier and the manifest keeps everything completed, so the
+	// same command with -resume continues where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	job, err := plan.Submit(ctx, campaign.Options{
 		Workers: *workers, Shards: *shards, OutDir: *out, Resume: *resume,
-		Collapse: *collapse, Logf: logf,
+		Collapse: *collapse,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	for ev := range job.Rows() {
+		if *quiet {
+			continue
+		}
+		switch {
+		case ev.Err != "":
+			log.Printf("  [%d/%d] %s FAILED: %s", ev.Done, ev.Total, ev.Key, ev.Err)
+		case ev.Cached:
+			log.Printf("  [%d/%d] %s (cached)", ev.Done, ev.Total, ev.Key)
+		case ev.Retry:
+			log.Printf("  [%d/%d] %s (retry)", ev.Done, ev.Total, ev.Key)
+		default:
+			log.Printf("  [%d/%d] %s", ev.Done, ev.Total, ev.Key)
+		}
+	}
+	res, err := job.Wait()
+	if err != nil && !errors.Is(err, campaign.ErrCellsFailed) {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		for _, n := range res.Collapsed {
+			log.Printf("scenario %s seed %d: collapsed %d gateways -> %d classes",
+				n.Scenario, n.Seed, n.FullGateways, n.Classes)
+		}
+		for _, a := range res.Artifacts {
+			log.Printf("wrote %s", a)
+		}
 	}
 	log.Printf("%s: %d cells (%d simulated, %d resumed), %d artifact(s) in %s",
 		plan.Spec.Name, len(res.Rows), res.Ran, res.Skipped, len(res.Artifacts), *out)

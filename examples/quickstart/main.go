@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -53,7 +54,11 @@ func main() {
 	}
 	defer os.RemoveAll(out)
 
-	res, err := plan.Run(campaign.Options{OutDir: out})
+	job, err := plan.Submit(context.Background(), campaign.Options{OutDir: out})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,7 +78,7 @@ func simulateKSweep() {
 			jobs = append(jobs, runner.Job{Name: fmt.Sprintf("k%d/seed%d", k, seed), Config: cfg})
 		}
 	}
-	outs := runner.Run(jobs)
+	outs := runner.Run(context.Background(), jobs)
 	if err := runner.FirstErr(outs); err != nil {
 		log.Fatal(err)
 	}

@@ -81,11 +81,11 @@ type Plan struct {
 // Compile validates the spec and expands sweeps, seeds and schemes into
 // the campaign's cell list. Every variant is re-validated after its axis
 // overrides (a sweep can produce an invalid combination, e.g. more
-// gateways than clients).
+// gateways than clients). All compilation errors wrap ErrSpecInvalid.
 func Compile(spec dsl.Spec) (*Plan, error) {
 	spec, err := spec.WithDefaults()
 	if err != nil {
-		return nil, err
+		return nil, specErr(err)
 	}
 	p := &Plan{Spec: spec, Hash: spec.Hash()}
 
@@ -103,7 +103,7 @@ func Compile(spec dsl.Spec) (*Plan, error) {
 		}
 		v.spec.Sweeps = nil
 		if v.spec, err = v.spec.WithDefaults(); err != nil {
-			return nil, fmt.Errorf("campaign: variant %s: %w", v.label, err)
+			return nil, specErr(fmt.Errorf("campaign: variant %s: %v", v.label, err))
 		}
 		p.variants = append(p.variants, v)
 	}
@@ -113,7 +113,7 @@ func Compile(spec dsl.Spec) (*Plan, error) {
 			for _, name := range spec.Schemes {
 				sc, err := SchemeByName(name)
 				if err != nil {
-					return nil, err
+					return nil, specErr(err)
 				}
 				p.Cells = append(p.Cells, Cell{
 					Index: len(p.Cells), Scenario: v.label,

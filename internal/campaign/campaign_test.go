@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -59,6 +61,16 @@ sweeps:
     values: [2, 4]
 outputs: [summary, json, power]
 `
+
+// runPlan submits the plan and waits: the synchronous shape most tests
+// want over the Job API.
+func runPlan(p *Plan, opts Options) (*RunResult, error) {
+	job, err := p.Submit(context.Background(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return job.Wait()
+}
 
 func compileTestPlan(t *testing.T) *Plan {
 	t.Helper()
@@ -133,11 +145,11 @@ func readArtifacts(t *testing.T, dir string) map[string]string {
 // and with 4 workers; every artifact must be byte-identical.
 func TestArtifactsDeterministicAcrossWorkers(t *testing.T) {
 	a, b := t.TempDir(), t.TempDir()
-	ra, err := compileTestPlan(t).Run(Options{Workers: 1, OutDir: a})
+	ra, err := runPlan(compileTestPlan(t), Options{Workers: 1, OutDir: a})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := compileTestPlan(t).Run(Options{Workers: 4, OutDir: b})
+	rb, err := runPlan(compileTestPlan(t), Options{Workers: 4, OutDir: b})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,10 +178,10 @@ func TestArtifactsDeterministicAcrossWorkers(t *testing.T) {
 // byte-identical per run, so every artifact must match.
 func TestArtifactsDeterministicAcrossShards(t *testing.T) {
 	a, b := t.TempDir(), t.TempDir()
-	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: a}); err != nil {
+	if _, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: a}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := compileTestPlan(t).Run(Options{Workers: 2, Shards: 3, OutDir: b}); err != nil {
+	if _, err := runPlan(compileTestPlan(t), Options{Workers: 2, Shards: 3, OutDir: b}); err != nil {
 		t.Fatal(err)
 	}
 	fa, fb := readArtifacts(t, a), readArtifacts(t, b)
@@ -205,7 +217,7 @@ func TestEngineShards(t *testing.T) {
 // and only simulate the missing cells.
 func TestResumeMatchesUninterrupted(t *testing.T) {
 	full := t.TempDir()
-	rFull, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: full})
+	rFull, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: full})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +237,7 @@ func TestResumeMatchesUninterrupted(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(interrupted, ManifestName), []byte(torn), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rRes, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: interrupted, Resume: true})
+	rRes, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: interrupted, Resume: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,12 +264,12 @@ func rowsEqual(a, b Row) bool { return reflect.DeepEqual(a, b) }
 
 func TestRunRefusesForeignManifest(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir}); err != nil {
+	if _, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	// Same directory, same spec, no -resume: refuse to clobber.
-	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir}); err == nil || !strings.Contains(err.Error(), "-resume") {
-		t.Errorf("rerun without resume should refuse, got %v", err)
+	if _, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: dir}); err == nil || !errors.Is(err, ErrManifestConflict) || !strings.Contains(err.Error(), "-resume") {
+		t.Errorf("rerun without resume should refuse with ErrManifestConflict, got %v", err)
 	}
 	// Changed spec, -resume: refuse the mismatched checkpoint.
 	spec, err := dsl.ParseSpec([]byte(strings.Replace(testSpec, "seeds: [1, 2]", "seeds: [1, 3]", 1)))
@@ -268,8 +280,8 @@ func TestRunRefusesForeignManifest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p2.Run(Options{Workers: 2, OutDir: dir, Resume: true}); err == nil || !strings.Contains(err.Error(), "different spec") {
-		t.Errorf("resume with changed spec should refuse, got %v", err)
+	if _, err := runPlan(p2, Options{Workers: 2, OutDir: dir, Resume: true}); err == nil || !errors.Is(err, ErrManifestConflict) || !strings.Contains(err.Error(), "different spec") {
+		t.Errorf("resume with changed spec should refuse with ErrManifestConflict, got %v", err)
 	}
 }
 
@@ -350,10 +362,10 @@ func TestFailurePlanExpansion(t *testing.T) {
 // robustness columns.
 func TestFailureCampaignDeterministic(t *testing.T) {
 	a, b := t.TempDir(), t.TempDir()
-	if _, err := compileFailurePlan(t).Run(Options{Workers: 1, OutDir: a}); err != nil {
+	if _, err := runPlan(compileFailurePlan(t), Options{Workers: 1, OutDir: a}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := compileFailurePlan(t).Run(Options{Workers: 4, Shards: 2, OutDir: b}); err != nil {
+	if _, err := runPlan(compileFailurePlan(t), Options{Workers: 4, Shards: 2, OutDir: b}); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"summary.csv", "results.json"} {
@@ -392,7 +404,7 @@ func TestFailureCampaignDeterministic(t *testing.T) {
 func TestCampaignPanicRecovery(t *testing.T) {
 	var mu sync.Mutex
 	panicked := 0
-	exec := func(cfg sim.Config) (*sim.Result, error) {
+	exec := func(_ context.Context, cfg sim.Config) (*sim.Result, error) {
 		mu.Lock()
 		first := cfg.Scheme == sim.SoI && panicked == 0
 		if first {
@@ -405,7 +417,7 @@ func TestCampaignPanicRecovery(t *testing.T) {
 		return sim.Run(cfg)
 	}
 	dir, clean := t.TempDir(), t.TempDir()
-	r, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir, exec: exec})
+	r, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: dir, exec: exec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +434,7 @@ func TestCampaignPanicRecovery(t *testing.T) {
 	if !strings.Contains(string(manifest), "injected cell failure") {
 		t.Error("manifest does not record the panic")
 	}
-	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: clean}); err != nil {
+	if _, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: clean}); err != nil {
 		t.Fatal(err)
 	}
 	fa, fb := readArtifacts(t, dir), readArtifacts(t, clean)
@@ -438,16 +450,19 @@ func TestCampaignPanicRecovery(t *testing.T) {
 // cells still produce rows — and a resume with the poison lifted heals
 // the campaign to a byte-identical artifact set.
 func TestCampaignPersistentFailure(t *testing.T) {
-	poison := func(cfg sim.Config) (*sim.Result, error) {
+	poison := func(_ context.Context, cfg sim.Config) (*sim.Result, error) {
 		if cfg.Scheme == sim.SoI {
 			panic("SoI is poisoned")
 		}
 		return sim.Run(cfg)
 	}
 	dir := t.TempDir()
-	r, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir, exec: poison})
-	if err != nil {
-		t.Fatal(err)
+	r, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: dir, exec: poison})
+	if !errors.Is(err, ErrCellsFailed) {
+		t.Fatalf("poisoned campaign must report ErrCellsFailed, got %v", err)
+	}
+	if r == nil {
+		t.Fatal("ErrCellsFailed must still carry the partial result")
 	}
 	if len(r.Failed) != 4 { // SoI x 2 seeds x 2 sweep values
 		t.Fatalf("failed cells: %v, want the 4 SoI cells", r.Failed)
@@ -469,7 +484,7 @@ func TestCampaignPersistentFailure(t *testing.T) {
 	}
 	// Resume without the poison: only the failed cells re-run, and the
 	// artifacts now match a never-poisoned campaign.
-	r2, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: dir, Resume: true})
+	r2, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: dir, Resume: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -477,7 +492,7 @@ func TestCampaignPersistentFailure(t *testing.T) {
 		t.Fatalf("resume skipped %d ran %d failed %v, want 4/4/none", r2.Skipped, r2.Ran, r2.Failed)
 	}
 	clean := t.TempDir()
-	if _, err := compileTestPlan(t).Run(Options{Workers: 2, OutDir: clean}); err != nil {
+	if _, err := runPlan(compileTestPlan(t), Options{Workers: 2, OutDir: clean}); err != nil {
 		t.Fatal(err)
 	}
 	fa, fb := readArtifacts(t, dir), readArtifacts(t, clean)

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 
 	"insomnia/internal/dsl"
@@ -18,8 +17,8 @@ import (
 
 // runModes executes one spec under both collapse modes at the given
 // worker/shard setting and returns the artifact bytes of each, keyed by
-// file name, plus the auto run's rows and log.
-func runModes(t *testing.T, spec dsl.Spec, workers, shards int) (auto, off map[string]string, autoRows []Row, autoLog string) {
+// file name, plus the auto run's full result.
+func runModes(t *testing.T, spec dsl.Spec, workers, shards int) (auto, off map[string]string, autoRes *RunResult) {
 	t.Helper()
 	read := func(dir string, arts []string) map[string]string {
 		out := map[string]string{}
@@ -32,14 +31,12 @@ func runModes(t *testing.T, spec dsl.Spec, workers, shards int) (auto, off map[s
 		}
 		return out
 	}
-	var logb strings.Builder
 	dirA := t.TempDir()
 	p, err := Compile(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resA, err := p.Run(Options{Workers: workers, Shards: shards, OutDir: dirA, Collapse: "auto",
-		Logf: func(f string, a ...any) { fmt.Fprintf(&logb, f+"\n", a...) }})
+	resA, err := runPlan(p, Options{Workers: workers, Shards: shards, OutDir: dirA, Collapse: "auto"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +45,11 @@ func runModes(t *testing.T, spec dsl.Spec, workers, shards int) (auto, off map[s
 	if err != nil {
 		t.Fatal(err)
 	}
-	resB, err := p2.Run(Options{Workers: workers, Shards: shards, OutDir: dirB, Collapse: "off"})
+	resB, err := runPlan(p2, Options{Workers: workers, Shards: shards, OutDir: dirB, Collapse: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return read(dirA, resA.Artifacts), read(dirB, resB.Artifacts), resA.Rows, logb.String()
+	return read(dirA, resA.Artifacts), read(dirB, resB.Artifacts), resA
 }
 
 // TestCollapseByteIdentical is the property test: randomized small
@@ -81,7 +78,8 @@ func TestCollapseByteIdentical(t *testing.T) {
 		}
 		workers, shards := []int{1, 4}[rng.Intn(2)], []int{0, 2}[rng.Intn(2)]
 		t.Run(fmt.Sprintf("gw%d-cl%d-%s-w%d-s%d", gws, clients, spec.Trace.Profile, workers, shards), func(t *testing.T) {
-			auto, off, rows, log := runModes(t, spec, workers, shards)
+			auto, off, res := runModes(t, spec, workers, shards)
+			rows := res.Rows
 			if len(auto) != 3 || len(off) != 3 {
 				t.Fatalf("expected 3 artifacts, got %d and %d", len(auto), len(off))
 			}
@@ -90,8 +88,13 @@ func TestCollapseByteIdentical(t *testing.T) {
 					t.Errorf("%s differs between collapse auto and off", name)
 				}
 			}
-			if !strings.Contains(log, "collapsed") {
-				t.Fatalf("auto run never collapsed; log:\n%s", log)
+			if len(res.Collapsed) == 0 {
+				t.Fatal("auto run never collapsed")
+			}
+			for _, n := range res.Collapsed {
+				if n.FullGateways != gws || n.Classes <= 0 || n.Classes >= gws {
+					t.Errorf("collapse note %+v did not shrink %d gateways", n, gws)
+				}
 			}
 			for _, r := range rows {
 				collapsible := r.Scheme == "no-sleep" || r.Scheme == "SoI" || r.Scheme == "SoI+full-switch"
@@ -129,14 +132,15 @@ func TestCollapseFailureCampaign(t *testing.T) {
 		},
 		Outputs: []string{"summary", "json"},
 	}
-	auto, off, rows, log := runModes(t, spec, 2, 0)
+	auto, off, res := runModes(t, spec, 2, 0)
+	rows := res.Rows
 	for name, a := range auto {
 		if off[name] != a {
 			t.Errorf("%s differs between collapse auto and off under failures", name)
 		}
 	}
-	if !strings.Contains(log, "collapsed") {
-		t.Fatalf("failure campaign never collapsed; log:\n%s", log)
+	if len(res.Collapsed) == 0 {
+		t.Fatal("failure campaign never collapsed")
 	}
 	for _, r := range rows {
 		if r.Availability == nil {
@@ -167,7 +171,7 @@ func TestCollapseIneligibleSpecs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := p.Run(Options{Workers: 1, OutDir: t.TempDir(), Collapse: "auto"})
+			res, err := runPlan(p, Options{Workers: 1, OutDir: t.TempDir(), Collapse: "auto"})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,44 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The campaign error taxonomy. Every error this package returns wraps
+// exactly one of these sentinels, so embedding layers — the HTTP campaign
+// server first of all — can map failures onto status codes with errors.Is
+// instead of string matching:
+//
+//	ErrSpecInvalid      -> 400 Bad Request (the spec can never run)
+//	ErrManifestConflict -> 409 Conflict (the output directory disagrees)
+//	ErrCanceled         -> the job was canceled; not a server fault
+//	ErrCellsFailed      -> 500-class: cells failed even after the retry
+//
+// Errors outside the taxonomy (I/O failures writing checkpoints or
+// artifacts) are infrastructure faults and deliberately wrap none of them.
+var (
+	// ErrSpecInvalid marks a spec that fails validation or compilation:
+	// resubmitting the same spec can never succeed.
+	ErrSpecInvalid = errors.New("invalid campaign spec")
+	// ErrManifestConflict marks an output directory that refuses the job:
+	// a manifest already exists without Resume, or the existing manifest
+	// belongs to a different spec.
+	ErrManifestConflict = errors.New("campaign manifest conflict")
+	// ErrCanceled marks a job stopped by Job.Cancel or its parent context.
+	// The manifest keeps every completed cell; resubmitting with Resume
+	// continues where the job stopped.
+	ErrCanceled = errors.New("campaign canceled")
+	// ErrCellsFailed marks a completed job with cells that failed even
+	// after the retry. The RunResult is still valid: successful rows and
+	// artifacts (recording the failed keys) were written.
+	ErrCellsFailed = errors.New("campaign cells failed")
+)
+
+// specErr wraps a validation error into the ErrSpecInvalid class.
+func specErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrSpecInvalid, err)
+}

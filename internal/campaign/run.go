@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -11,7 +12,6 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 
 	"insomnia/internal/figures"
 	"insomnia/internal/runner"
@@ -21,10 +21,16 @@ import (
 // ManifestName is the checkpoint file inside the output directory.
 const ManifestName = "manifest.jsonl"
 
-// Options controls one campaign execution.
+// Options controls one campaign job.
 type Options struct {
-	// Workers caps concurrent simulations; <=0 means GOMAXPROCS.
+	// Workers caps the job's concurrent simulations; <=0 first defers to
+	// the spec's workers key, then to GOMAXPROCS.
 	Workers int
+	// Budget, when non-nil, is a shared concurrency ceiling across jobs
+	// (runner.Budget): however many campaigns are in flight, the sum of
+	// their running simulations never exceeds Budget.Slots(). Workers
+	// still caps this job alone.
+	Budget *runner.Budget
 	// Shards overrides the engine shard count of every simulation
 	// (sim.Config.Shards); 0 defers to the spec's shards key, and when
 	// that is auto too the campaign shards each simulation over the cores
@@ -36,8 +42,8 @@ type Options struct {
 	// Resume skips cells already recorded in OutDir's manifest (from an
 	// interrupted earlier run of the same spec). Cells whose latest
 	// manifest entry is an error are re-executed, not skipped. Without
-	// Resume an existing manifest is an error — a campaign does not
-	// silently overwrite another's checkpoint.
+	// Resume an existing manifest is an ErrManifestConflict — a campaign
+	// does not silently overwrite another's checkpoint.
 	Resume bool
 	// Collapse overrides the spec's collapse key: "auto" simulates
 	// symmetry-eligible cells on their quotient scenario, "off" forces
@@ -45,21 +51,20 @@ type Options struct {
 	// is auto). Artifacts are byte-identical under both modes — collapse
 	// only changes how much work producing them takes.
 	Collapse string
-	// Logf, when set, receives progress lines.
-	Logf func(format string, args ...any)
 
 	// exec overrides how each cell's simulation runs (runner.Runner.Exec);
-	// nil means sim.Run. Test seam for fault injection.
-	exec func(sim.Config) (*sim.Result, error)
+	// nil means sim.RunContext. Test seam for fault injection.
+	exec func(ctx context.Context, cfg sim.Config) (*sim.Result, error)
 }
 
-// RunResult reports what a campaign execution did.
+// RunResult reports what a campaign job did.
 type RunResult struct {
-	Rows      []Row    // one per successful cell, in cell enumeration order
-	Ran       int      // cells simulated in this execution
-	Skipped   int      // cells restored from the manifest
-	Failed    []string // cell keys that failed even after the retry, in cell order
-	Artifacts []string // files written under OutDir
+	Rows      []Row          // one per successful cell, in cell enumeration order
+	Ran       int            // cells simulated in this execution
+	Skipped   int            // cells restored from the manifest
+	Failed    []string       // cell keys that failed even after the retry, in cell order
+	Artifacts []string       // files written under OutDir
+	Collapsed []CollapseNote // scenario groups simulated on their symmetry quotient
 }
 
 // manifestHeader is the first line of a manifest, binding it to a spec.
@@ -78,248 +83,6 @@ type manifestEntry struct {
 	Key   string `json:"key"`
 	Row   *Row   `json:"row,omitempty"`
 	Error string `json:"error,omitempty"`
-}
-
-// Run executes the plan: it restores completed cells from the manifest
-// (when resuming), simulates the remainder over the worker pool —
-// checkpointing each completed cell-order prefix — and writes the spec's
-// artifacts. Artifacts are byte-deterministic in (spec, seeds): worker
-// count, interruption and resume cannot change them.
-func (p *Plan) Run(opts Options) (*RunResult, error) {
-	if opts.OutDir == "" {
-		return nil, fmt.Errorf("campaign: Options.OutDir is required")
-	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
-		return nil, err
-	}
-	manifestPath := filepath.Join(opts.OutDir, ManifestName)
-
-	done := map[string]Row{}
-	if _, err := os.Stat(manifestPath); err == nil {
-		if !opts.Resume {
-			return nil, fmt.Errorf("campaign: %s exists; pass -resume to continue it or choose a fresh -out", manifestPath)
-		}
-		var err error
-		done, err = readManifest(manifestPath, p.Hash)
-		if err != nil {
-			return nil, err
-		}
-	} else if opts.Resume && !os.IsNotExist(err) {
-		return nil, err
-	}
-
-	var pending []Cell
-	for _, c := range p.Cells {
-		if _, ok := done[c.Key()]; !ok {
-			pending = append(pending, c)
-		}
-	}
-	res := &RunResult{Ran: len(pending), Skipped: len(p.Cells) - len(pending)}
-	logf("campaign %s: %d cells (%d cached, %d to run), %d variant(s)",
-		p.Spec.Name, len(p.Cells), res.Skipped, res.Ran, len(p.variants))
-
-	failed := map[string]string{}
-	if len(pending) > 0 {
-		var err error
-		if failed, err = p.runPending(pending, done, manifestPath, opts, logf); err != nil {
-			return nil, err
-		}
-	}
-
-	for _, c := range p.Cells {
-		row, ok := done[c.Key()]
-		if !ok {
-			if _, isFailed := failed[c.Key()]; isFailed {
-				res.Failed = append(res.Failed, c.Key())
-				continue
-			}
-			return nil, fmt.Errorf("campaign: cell %s missing after run", c.Key())
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	if len(res.Failed) > 0 {
-		logf("%d cell(s) failed after retry: %s", len(res.Failed), strings.Join(res.Failed, ", "))
-	}
-	arts, err := p.writeArtifacts(opts.OutDir, res.Rows, res.Failed)
-	if err != nil {
-		return nil, err
-	}
-	res.Artifacts = arts
-	for _, a := range arts {
-		logf("wrote %s", a)
-	}
-	return res, nil
-}
-
-// runPending generates the fixtures the pending cells need, simulates
-// them on the worker pool and appends each completed cell-order prefix to
-// the manifest. Cells whose simulation fails (error or recovered panic)
-// are recorded in the manifest and retried once; the cells still failing
-// after the retry come back in the returned map.
-func (p *Plan) runPending(pending []Cell, done map[string]Row, manifestPath string, opts Options, logf func(string, ...any)) (map[string]string, error) {
-	// Generate the fixtures the pending cells need, in parallel: fixture
-	// generation is deterministic per (variant, seed) and independent, so
-	// the worker pool does not have to idle behind serial trace synthesis.
-	// All pending fixtures stay resident for the run — shard a campaign
-	// into several specs if variants x seeds of a city-scale scenario
-	// exceed memory.
-	type groupKey struct {
-		variant int
-		seed    int64
-	}
-	var groups []groupKey
-	for _, c := range pending {
-		k := groupKey{c.variant, c.Seed}
-		if len(groups) == 0 || groups[len(groups)-1] != k {
-			groups = append(groups, k)
-		}
-	}
-	// Decide per group which scenario shapes its cells need. With collapse
-	// on, a group whose pending cells are all collapsible schemes never
-	// generates its full city-scale trace — the bulk of the speedup on
-	// symmetric sweeps.
-	type needs struct{ full, quot bool }
-	need := make(map[groupKey]*needs, len(groups))
-	for _, c := range pending {
-		k := groupKey{c.variant, c.Seed}
-		n := need[k]
-		if n == nil {
-			n = &needs{}
-			need[k] = n
-		}
-		mode := collapseMode(opts.Collapse, p.variants[c.variant].spec.Collapse)
-		if mode == "auto" && schemeCollapsible(c.Scheme) {
-			n.quot = true
-		} else {
-			n.full = true
-		}
-	}
-	logf("generating %d scenario fixture(s)...", len(groups))
-	fixtures := make(map[groupKey]*fixture, len(groups))
-	var (
-		mu  sync.Mutex
-		wg  sync.WaitGroup
-		sem = make(chan struct{}, genWorkers(opts.Workers, len(groups)))
-	)
-	errs := make([]error, len(groups))
-	for i, k := range groups {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, k groupKey) {
-			defer func() { <-sem; wg.Done() }()
-			n := need[k]
-			f, err := buildFixture(p.variants[k.variant].spec, k.seed, n.full, n.quot)
-			if err != nil {
-				errs[i] = fmt.Errorf("campaign: scenario %s seed %d: %w", p.variants[k.variant].label, k.seed, err)
-				return
-			}
-			mu.Lock()
-			fixtures[k] = f
-			mu.Unlock()
-		}(i, k)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, k := range groups {
-		if g := fixtures[k].geom; g != nil && need[k].quot {
-			logf("  scenario %s seed %d: collapsed %d gateways -> %d classes",
-				p.variants[k.variant].label, k.seed, g.q.FullGateways, len(g.q.Classes))
-		}
-	}
-
-	mf, err := openManifest(manifestPath, p, len(done) > 0)
-	if err != nil {
-		return nil, err
-	}
-	defer mf.Close()
-
-	jobs := make([]runner.Job, len(pending))
-	collapsed := make([]bool, len(pending))
-	for i, c := range pending {
-		v := p.variants[c.variant].spec
-		f := fixtures[groupKey{c.variant, c.Seed}]
-		mode := collapseMode(opts.Collapse, v.Collapse)
-		collapsed[i] = mode == "auto" && schemeCollapsible(c.Scheme) && f.geom != nil
-		cfg := simConfig(v, f, c, collapsed[i])
-		cfg.Shards = engineShards(opts.Shards, v.Shards, opts.Workers, len(pending))
-		jobs[i] = runner.Job{Name: c.Key(), Config: cfg}
-	}
-	withPower := p.Spec.HasOutput("power")
-	enc := json.NewEncoder(mf)
-	var emitErr error
-	// emit checkpoints one outcome: a row entry on success, an error entry
-	// on failure (so an interrupted run re-executes the cell on resume).
-	emit := func(i int, c Cell, o runner.Outcome) bool {
-		if emitErr != nil {
-			return false
-		}
-		e := manifestEntry{Key: c.Key()}
-		if o.Err != nil {
-			e.Error = o.Err.Error()
-		} else {
-			f := fixtures[groupKey{c.variant, c.Seed}]
-			row := reduce(c, p.variants[c.variant].spec.Duration, o.Result, withPower, f, collapsed[i])
-			done[c.Key()] = row
-			e.Row = &row
-		}
-		if err := enc.Encode(e); err != nil {
-			emitErr = err
-			return false
-		}
-		if err := mf.Flush(); err != nil {
-			emitErr = err
-			return false
-		}
-		return o.Err == nil
-	}
-	pool := runner.Runner{Workers: opts.Workers, Exec: opts.exec}
-	var failedIdx []int
-	pool.RunStream(jobs, func(i int, o runner.Outcome) {
-		c := pending[i]
-		if !emit(i, c, o) {
-			if o.Err != nil && emitErr == nil {
-				failedIdx = append(failedIdx, i)
-				logf("  [%d/%d] %s FAILED: %s", len(done), len(p.Cells), c.Key(), firstLine(o.Err.Error()))
-			}
-			return
-		}
-		logf("  [%d/%d] %s", len(done), len(p.Cells), c.Key())
-	})
-	if emitErr != nil {
-		return nil, fmt.Errorf("campaign: checkpoint: %w", emitErr)
-	}
-	// One retry for the failed cells: transient faults (a poisoned worker,
-	// an OOM-killed shard) get a second chance; deterministic failures fail
-	// again and are surfaced instead of aborting the whole campaign.
-	failed := map[string]string{}
-	if len(failedIdx) > 0 {
-		logf("retrying %d failed cell(s)...", len(failedIdx))
-		retry := make([]runner.Job, len(failedIdx))
-		for ri, i := range failedIdx {
-			retry[ri] = jobs[i]
-		}
-		pool.RunStream(retry, func(ri int, o runner.Outcome) {
-			i := failedIdx[ri]
-			c := pending[i]
-			if emit(i, c, o) {
-				logf("  [%d/%d] %s (retry)", len(done), len(p.Cells), c.Key())
-			} else if o.Err != nil && emitErr == nil {
-				failed[c.Key()] = o.Err.Error()
-			}
-		})
-		if emitErr != nil {
-			return nil, fmt.Errorf("campaign: checkpoint: %w", emitErr)
-		}
-	}
-	return failed, mf.Sync()
 }
 
 // firstLine truncates an error to its first line: the deterministic part
@@ -434,7 +197,7 @@ func readManifest(path, wantHash string) (map[string]Row, error) {
 		return nil, fmt.Errorf("campaign: %s: bad manifest header: %w", path, err)
 	}
 	if hdr.Hash != wantHash {
-		return nil, fmt.Errorf("campaign: %s belongs to a different spec (hash %s, want %s); use a fresh -out", path, hdr.Hash, wantHash)
+		return nil, fmt.Errorf("%w: %s belongs to a different spec (hash %s, want %s); use a fresh -out", ErrManifestConflict, path, hdr.Hash, wantHash)
 	}
 	done := map[string]Row{}
 	var pendingErr error

@@ -75,6 +75,12 @@ type Spec struct {
 	// leaves idle. Results are byte-identical at every value, so the key
 	// trades wall-clock only, never fidelity.
 	Shards int `json:"shards,omitempty"`
+	// Workers caps the campaign's concurrent simulations for this spec.
+	// 0 (the default, kept unfilled so pre-existing spec hashes are
+	// stable) defers to the embedding layer: the CLI's -workers flag or
+	// GOMAXPROCS. Like shards, the key trades wall-clock only — results
+	// are byte-identical at every value.
+	Workers int `json:"workers,omitempty"`
 	// Collapse controls the campaign's symmetry-collapse pass: "auto" (and
 	// the "" default, kept unfilled so pre-existing spec hashes are stable)
 	// collapses cells into their gateway-equivalence quotient whenever the
@@ -284,6 +290,9 @@ func (s Spec) WithDefaults() (Spec, error) {
 	}
 	if s.Shards < 0 {
 		return s, fmt.Errorf("dsl: negative shards %d", s.Shards)
+	}
+	if s.Workers < 0 {
+		return s, fmt.Errorf("dsl: negative workers %d", s.Workers)
 	}
 	switch s.Collapse {
 	case "", "auto", "off":

@@ -8,6 +8,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -95,7 +96,7 @@ func RunDayWorkers(sc *Scenario, schemes []sim.Scheme, workers int) (*DayRuns, e
 		jobs = append(jobs, runner.SchemeJobs(base, []sim.Scheme{sim.NoSleep})...)
 	}
 	out := &DayRuns{Scenario: sc, Results: map[sim.Scheme]*sim.Result{}}
-	for _, o := range (runner.Runner{Workers: workers}).Run(jobs) {
+	for _, o := range (runner.Runner{Workers: workers}).Run(context.Background(), jobs) {
 		if o.Err != nil {
 			return nil, fmt.Errorf("figures: %w", o.Err) // runner names the scheme
 		}
@@ -367,7 +368,7 @@ func Fig10Sweep(seeds []int64, densities []float64, workers int) (Series, error)
 			})
 		}
 	}
-	outs := (runner.Runner{Workers: workers}).Run(jobs)
+	outs := (runner.Runner{Workers: workers}).Run(context.Background(), jobs)
 	if err := runner.FirstErr(outs); err != nil {
 		return Series{}, err
 	}

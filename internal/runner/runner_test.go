@@ -1,9 +1,12 @@
 package runner
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"insomnia/internal/sim"
@@ -61,7 +64,7 @@ func sameResult(t *testing.T, label string, a, b *sim.Result) {
 func TestSameConfigTwiceIsDeterministic(t *testing.T) {
 	tr, tp := scenario(t, 21)
 	cfg := sim.Config{Trace: tr, Topo: tp, Scheme: sim.BH2KSwitch, Seed: 21, K: 2}
-	outs := Run([]Job{{Name: "a", Config: cfg}, {Name: "b", Config: cfg}})
+	outs := Run(context.Background(), []Job{{Name: "a", Config: cfg}, {Name: "b", Config: cfg}})
 	if err := FirstErr(outs); err != nil {
 		t.Fatal(err)
 	}
@@ -75,12 +78,12 @@ func TestWorkerCountInvariance(t *testing.T) {
 		sim.NoSleep, sim.SoI, sim.SoIKSwitch, sim.BH2KSwitch,
 		sim.BH2NoBackup, sim.Optimal, sim.Centralized,
 	})
-	serial := Runner{Workers: 1}.Run(jobs)
+	serial := Runner{Workers: 1}.Run(context.Background(), jobs)
 	if err := FirstErr(serial); err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0)} {
-		parallel := Runner{Workers: workers}.Run(jobs)
+		parallel := Runner{Workers: workers}.Run(context.Background(), jobs)
 		if err := FirstErr(parallel); err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +100,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 func TestErrorsAreIsolated(t *testing.T) {
 	tr, tp := scenario(t, 23)
 	good := sim.Config{Trace: tr, Topo: tp, Scheme: sim.SoI, Seed: 23, K: 2}
-	outs := Run([]Job{
+	outs := Run(context.Background(), []Job{
 		{Name: "good-1", Config: good},
 		{Name: "bad", Config: sim.Config{}}, // no trace/topology: must fail
 		{Name: "good-2", Config: good},
@@ -118,12 +121,12 @@ func TestErrorsAreIsolated(t *testing.T) {
 }
 
 func TestEmptyAndDefaultPool(t *testing.T) {
-	if outs := Run(nil); len(outs) != 0 {
+	if outs := Run(context.Background(), nil); len(outs) != 0 {
 		t.Fatalf("empty campaign produced %d outcomes", len(outs))
 	}
 	// Workers beyond the job count must not deadlock or drop jobs.
 	tr, tp := scenario(t, 24)
-	outs := Runner{Workers: 64}.Run([]Job{{
+	outs := Runner{Workers: 64}.Run(context.Background(), []Job{{
 		Name: "solo", Config: sim.Config{Trace: tr, Topo: tp, Scheme: sim.SoI, Seed: 24, K: 2},
 	}})
 	if err := FirstErr(outs); err != nil {
@@ -143,7 +146,7 @@ func TestSeedJobsShareFixtures(t *testing.T) {
 			t.Fatalf("job %d seed = %d", i, j.Config.Seed)
 		}
 	}
-	outs := Run(jobs)
+	outs := Run(context.Background(), jobs)
 	if err := FirstErr(outs); err != nil {
 		t.Fatal(err)
 	}
@@ -161,13 +164,13 @@ func TestPanicRecovery(t *testing.T) {
 	good := sim.Config{Trace: tr, Topo: tp, Scheme: sim.SoI, Seed: 26, K: 2}
 	boom := good
 	boom.Seed = -777 // marker the injected exec panics on
-	r := Runner{Workers: 3, Exec: func(cfg sim.Config) (*sim.Result, error) {
+	r := Runner{Workers: 3, Exec: func(_ context.Context, cfg sim.Config) (*sim.Result, error) {
 		if cfg.Seed == -777 {
 			panic("injected cell failure")
 		}
 		return sim.Run(cfg)
 	}}
-	outs := r.Run([]Job{
+	outs := r.Run(context.Background(), []Job{
 		{Name: "good-1", Config: good},
 		{Name: "boom", Config: boom},
 		{Name: "good-2", Config: good},
@@ -192,7 +195,7 @@ func TestPanicRecovery(t *testing.T) {
 // every successful result.
 func TestPanicDeterminismAcrossWorkers(t *testing.T) {
 	tr, tp := scenario(t, 27)
-	exec := func(cfg sim.Config) (*sim.Result, error) {
+	exec := func(_ context.Context, cfg sim.Config) (*sim.Result, error) {
 		if cfg.Scheme == sim.Optimal {
 			panic("optimal is poisoned in this test")
 		}
@@ -202,9 +205,9 @@ func TestPanicDeterminismAcrossWorkers(t *testing.T) {
 	jobs := SchemeJobs(base, []sim.Scheme{
 		sim.NoSleep, sim.SoI, sim.Optimal, sim.BH2KSwitch, sim.Centralized,
 	})
-	serial := Runner{Workers: 1, Exec: exec}.Run(jobs)
+	serial := Runner{Workers: 1, Exec: exec}.Run(context.Background(), jobs)
 	for _, workers := range []int{2, 4} {
-		parallel := Runner{Workers: workers, Exec: exec}.Run(jobs)
+		parallel := Runner{Workers: workers, Exec: exec}.Run(context.Background(), jobs)
 		for i := range jobs {
 			if (serial[i].Err != nil) != (parallel[i].Err != nil) {
 				t.Fatalf("workers=%d: job %q error mismatch: %v vs %v",
@@ -232,29 +235,126 @@ func TestRunStreamDeliversInJobOrder(t *testing.T) {
 		jobs = append(jobs, Job{Name: sc.String(), Config: sim.Config{Trace: tr, Topo: tp, Scheme: sc, Seed: 33, K: 2}})
 	}
 	var emitted []int
-	outs := (Runner{Workers: 4}).RunStream(jobs, func(i int, o Outcome) {
-		if o.Err != nil {
-			t.Errorf("job %d failed: %v", i, o.Err)
+	outs := make([]Outcome, len(jobs))
+	for d := range (Runner{Workers: 4}).RunStream(context.Background(), jobs) {
+		if d.Err != nil {
+			t.Errorf("job %d failed: %v", d.Index, d.Err)
 		}
-		if o.Job.Name != jobs[i].Name {
-			t.Errorf("emit %d carries job %q, want %q", i, o.Job.Name, jobs[i].Name)
+		if d.Job.Name != jobs[d.Index].Name {
+			t.Errorf("delivery %d carries job %q, want %q", d.Index, d.Job.Name, jobs[d.Index].Name)
 		}
-		emitted = append(emitted, i)
-	})
+		emitted = append(emitted, d.Index)
+		outs[d.Index] = d.Outcome
+	}
 	if err := FirstErr(outs); err != nil {
 		t.Fatal(err)
 	}
 	if len(emitted) != len(jobs) {
-		t.Fatalf("emitted %d outcomes, want %d", len(emitted), len(jobs))
+		t.Fatalf("delivered %d outcomes, want %d", len(emitted), len(jobs))
 	}
 	for i, e := range emitted {
 		if e != i {
-			t.Fatalf("emit order %v is not job order", emitted)
+			t.Fatalf("delivery order %v is not job order", emitted)
 		}
 	}
 	// Streamed outcomes match a plain serial run.
-	serial := (Runner{Workers: 1}).Run(jobs)
+	serial := (Runner{Workers: 1}).Run(context.Background(), jobs)
 	for i := range jobs {
 		sameResult(t, jobs[i].Name, serial[i].Result, outs[i].Result)
+	}
+}
+
+// TestCancelClosesStreamAndFreesBudget pins the cancellation contract:
+// canceling mid-run closes the delivery channel after an in-order prefix,
+// aborts in-flight simulations promptly, and returns every Budget slot.
+func TestCancelClosesStreamAndFreesBudget(t *testing.T) {
+	tr, tp := scenario(t, 41)
+	cfg := sim.Config{Trace: tr, Topo: tp, Scheme: sim.SoI, Seed: 41, K: 2}
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{Name: sim.SoI.String(), Config: cfg}
+	}
+	budget := NewBudget(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := Runner{Workers: 4, Budget: budget}
+	delivered := 0
+	for d := range r.RunStream(ctx, jobs) {
+		if d.Index != delivered {
+			t.Fatalf("delivery %d arrived out of order (want %d)", d.Index, delivered)
+		}
+		delivered++
+		if delivered == 2 {
+			cancel()
+		}
+	}
+	if delivered >= len(jobs) {
+		t.Fatalf("cancel after 2 deliveries still delivered all %d jobs", delivered)
+	}
+	// The channel only closes after the workers have exited, so every slot
+	// is back.
+	if n := budget.InUse(); n != 0 {
+		t.Fatalf("%d budget slots still held after cancel", n)
+	}
+}
+
+// TestRunFillsCanceledOutcomes: Run under a canceled context reports the
+// cancellation cause on every undelivered job instead of zero outcomes.
+func TestRunFillsCanceledOutcomes(t *testing.T) {
+	tr, tp := scenario(t, 42)
+	cfg := sim.Config{Trace: tr, Topo: tp, Scheme: sim.NoSleep, Seed: 42, K: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before anything runs
+	outs := Runner{Workers: 2}.Run(ctx, []Job{{Name: "a", Config: cfg}, {Name: "b", Config: cfg}})
+	if len(outs) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(outs))
+	}
+	for i, o := range outs {
+		if o.Err == nil || !strings.Contains(o.Err.Error(), context.Canceled.Error()) {
+			t.Errorf("outcome %d: want canceled error, got %v", i, o.Err)
+		}
+	}
+}
+
+// TestBudgetSharedAcrossRunners: two concurrent streams under one small
+// budget both complete, and the in-flight simulation count never exceeds
+// the budget.
+func TestBudgetSharedAcrossRunners(t *testing.T) {
+	tr, tp := scenario(t, 43)
+	cfg := sim.Config{Trace: tr, Topo: tp, Scheme: sim.NoSleep, Seed: 43, K: 2}
+	budget := NewBudget(2)
+	var running, peak atomic.Int64
+	exec := func(ctx context.Context, c sim.Config) (*sim.Result, error) {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer running.Add(-1)
+		return sim.RunContext(ctx, c)
+	}
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{Name: "j", Config: cfg}
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs := Runner{Workers: 4, Budget: budget, Exec: exec}.Run(context.Background(), jobs)
+			if err := FirstErr(outs); err != nil {
+				t.Errorf("stream failed under shared budget: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeded budget of 2", p)
+	}
+	if n := budget.InUse(); n != 0 {
+		t.Errorf("%d budget slots leaked", n)
 	}
 }

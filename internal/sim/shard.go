@@ -143,11 +143,16 @@ func tickSpans(sh *shard, n int) []poolSpan {
 }
 
 // runSharded drives a modeLocal run: epochs of parallel shard progress
-// separated by coordinator events.
+// separated by coordinator events. Cancellation is checked once per epoch
+// barrier — the natural rendezvous where every lane is quiescent.
 func (s *sim) runSharded() {
 	s.pool.start()
 	defer s.pool.stop()
 	for s.shardedStep() {
+		if s.canceled() {
+			s.aborted = true
+			return
+		}
 	}
 	s.now = s.end
 }

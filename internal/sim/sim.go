@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -317,17 +318,34 @@ type Result struct {
 // SavingsVs returns total energy savings of r against a baseline run.
 func (r *Result) SavingsVs(base *Result) float64 { return r.Energy.SavingsVs(base.Energy) }
 
-// Run executes one simulation.
-func Run(cfg Config) (*Result, error) {
+// Run executes one simulation to completion.
+func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes one simulation under a context. Cancellation is
+// checked at epoch granularity — every coordinator barrier of a sharded
+// run, every few thousand events of a serial one — so a canceled run stops
+// promptly (microseconds of simulation work, never a full run). A canceled
+// run returns ctx's cause wrapped in an error and no Result: partial
+// metrics would not be deterministic, so none are reported. Runs that
+// complete are byte-identical to Run — the context is only ever polled,
+// never woven into the event order.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: canceled before start: %w", context.Cause(ctx))
 	}
 	s, err := newSim(cfg)
 	if err != nil {
 		return nil, err
 	}
+	s.ctx = ctx
 	s.run()
+	if s.aborted {
+		return nil, fmt.Errorf("sim: canceled at t=%.0fs: %w", s.now, context.Cause(ctx))
+	}
 	return s.result(), nil
 }
 

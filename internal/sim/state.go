@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -154,6 +155,15 @@ type sim struct {
 	strat strategy
 	now   float64 // main-lane clock (strategies and tick always run on main)
 	end   float64
+
+	// Cancellation (RunContext). ctx is polled at epoch granularity — every
+	// coordinator fence in sharded runs, every cancelCheckEvery events in
+	// serial ones — never inside an event handler, so an uncanceled run's
+	// event sequence (and therefore its result) is identical whether or not
+	// a context was supplied. aborted records that the run stopped early;
+	// its partial state is discarded, not reported.
+	ctx     context.Context
+	aborted bool
 
 	gws     []gateway
 	clients []client

@@ -1,0 +1,60 @@
+package simd
+
+import (
+	"context"
+	"sync"
+
+	"insomnia/internal/campaign"
+)
+
+// eventLog records a job's RowEvents for replay: an SSE subscriber that
+// connects late (or reconnects) still sees the full stream from event 0,
+// in order, before going live. One writer (the job's pump goroutine)
+// appends; any number of readers walk the log by index.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []campaign.RowEvent
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *eventLog) append(ev campaign.RowEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// close marks the log complete; blocked readers drain and stop.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// next blocks until event i exists (returning it), the log is closed with
+// fewer than i+1 events (ok=false), or ctx is canceled (ok=false). A
+// watcher goroutine turns ctx cancellation into a broadcast, since
+// sync.Cond cannot select on a Done channel directly.
+func (l *eventLog) next(ctx context.Context, i int) (campaign.RowEvent, bool) {
+	stop := context.AfterFunc(ctx, l.cond.Broadcast)
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if i < len(l.events) {
+			return l.events[i], true
+		}
+		if l.closed || ctx.Err() != nil {
+			return campaign.RowEvent{}, false
+		}
+		l.cond.Wait()
+	}
+}
