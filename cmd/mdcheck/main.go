@@ -1,0 +1,42 @@
+// Command mdcheck validates the repo's markdown cross-references: every
+// relative link must point at an existing file and every #fragment at a
+// real heading (GitHub slug rules). CI runs it over README.md and docs/
+// as a lint step; it needs no dependencies and no network.
+//
+// Usage: mdcheck FILE.md [FILE.md ...]
+//
+// Exit status 0 when every link resolves, 1 with one "file:line: problem"
+// diagnostic per broken link otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"insomnia/internal/cli"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mdcheck FILE.md [FILE.md ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	problems, err := cli.CheckMarkdownLinks(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", len(problems))
+		os.Exit(1)
+	}
+}

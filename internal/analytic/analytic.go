@@ -37,7 +37,7 @@ func CardSleepProbability(l, k, m int, p float64) (float64, error) {
 	if k < 1 || m < 1 {
 		return 0, fmt.Errorf("analytic: invalid k=%d m=%d", k, m)
 	}
-	if p < 0 || p > 1 {
+	if !(p >= 0 && p <= 1) { // also rejects NaN
 		return 0, fmt.Errorf("analytic: probability p=%v outside [0,1]", p)
 	}
 	var cdf float64 // P{fewer than l inactive} = Σ_{i<l} C(k,i)(1-p)^i p^(k-i)
@@ -69,6 +69,48 @@ func ExpectedSleepingCards(k, m int, p float64) (float64, error) {
 // sleep in expectation terms.
 func FullSwitchSleepingCards(n, m int, p float64) int {
 	return int(math.Floor(float64(n) * (1 - p) / float64(m)))
+}
+
+// SoIPoissonSleepProbability returns the long-run fraction of time a single
+// SoI gateway sleeps when its only traffic is client keepalives arriving as a
+// Poisson process of rate lambda (events per second), with idle timeout T and
+// wake transition W (both seconds; T >= 0, W >= 0, lambda > 0).
+//
+// Derivation (renewal-reward over one sleep cycle): a cycle starts when the
+// gateway falls asleep, sleeps Exp(lambda) time until the next keepalive,
+// then spends W waking and stays on until a gap longer than T appears. The
+// expected on-time per cycle is W + (e^{λT}-1)/λ — the classic expected wait
+// for an arrival-free window of length T in a Poisson stream — and the
+// expected sleep per cycle is 1/λ, so
+//
+//	P(sleep) = (1/λ) / (1/λ + W + (e^{λT}-1)/λ) = 1 / (λW + e^{λT}).
+//
+// Limits sanity-check it: λ→0 gives 1 (an idle gateway always sleeps) and
+// T→∞ or W→∞ give 0. This is the oracle's statistical leg for plain SoI: the
+// engine's measured GatewayOnTime fraction over a long horizon must converge
+// on 1 - P(sleep) (internal/oracle TestAnalyticSoIPoisson).
+func SoIPoissonSleepProbability(lambda, idleTimeout, wakeDelay float64) (float64, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return 0, fmt.Errorf("analytic: keepalive rate lambda=%v must be positive and finite", lambda)
+	}
+	if idleTimeout < 0 || wakeDelay < 0 || math.IsNaN(idleTimeout) || math.IsNaN(wakeDelay) {
+		return 0, fmt.Errorf("analytic: negative timeout %v or wake delay %v", idleTimeout, wakeDelay)
+	}
+	return 1 / (lambda*wakeDelay + math.Exp(lambda*idleTimeout)), nil
+}
+
+// SoIPoissonWakeupRate returns the long-run gateway wakeups per second under
+// the same Poisson-keepalive model as SoIPoissonSleepProbability: one wakeup
+// per renewal cycle of expected length 1/λ + W + (e^{λT}-1)/λ, i.e.
+// λ / (λW + e^{λT}) = λ · P(sleep). Multiply by the horizon for an expected
+// wakeup count (the engine's Result.Wakeups, which counts Sleeping→Waking
+// transitions).
+func SoIPoissonWakeupRate(lambda, idleTimeout, wakeDelay float64) (float64, error) {
+	p, err := SoIPoissonSleepProbability(lambda, idleTimeout, wakeDelay)
+	if err != nil {
+		return 0, err
+	}
+	return lambda * p, nil
 }
 
 func binom(n, k int) float64 {

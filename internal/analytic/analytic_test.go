@@ -69,6 +69,142 @@ func TestCardSleepProbabilityEdgeCases(t *testing.T) {
 	}
 }
 
+// TestEq2Table pins the oracle-facing edge cases of Eq 2 and its
+// neighbors as an explicit table — the boundaries the closed forms are
+// evaluated at inside internal/oracle (l=k, degenerate p, m=0) must have
+// their exact values and error behavior spelled out, not only covered
+// implicitly by quick.Check properties.
+func TestEq2Table(t *testing.T) {
+	cases := []struct {
+		name       string
+		l, k, m    int
+		p          float64
+		want       float64
+		wantErr    bool
+		exactMatch bool // compare with ==, not a tolerance
+	}{
+		// l=k boundary: "at least k of k lines inactive" is all-inactive,
+		// so Eq 2 degenerates to ((1-p)^k)^m.
+		{name: "l=k boundary", l: 4, k: 4, m: 12, p: 0.3, want: math.Pow(math.Pow(0.7, 4), 12)},
+		{name: "l=k=1 is the no-switch product", l: 1, k: 1, m: 12, p: 0.3, want: CardSleepNoSwitch(12, 0.3)},
+		// p at the endpoints: certainty either way, bit-exact.
+		{name: "p=0 sleeps surely", l: 4, k: 4, m: 24, p: 0, want: 1, exactMatch: true},
+		{name: "p=1 never sleeps", l: 1, k: 4, m: 24, p: 1, want: 0, exactMatch: true},
+		// Degenerate shapes are errors, not silent 0s or 1s.
+		{name: "m=0 rejected", l: 1, k: 4, m: 0, p: 0.5, wantErr: true},
+		{name: "k=0 rejected", l: 1, k: 0, m: 24, p: 0.5, wantErr: true},
+		{name: "l=0 rejected", l: 0, k: 4, m: 24, p: 0.5, wantErr: true},
+		{name: "l>k rejected", l: 5, k: 4, m: 24, p: 0.5, wantErr: true},
+		{name: "p<0 rejected", l: 1, k: 4, m: 24, p: -0.1, wantErr: true},
+		{name: "p>1 rejected", l: 1, k: 4, m: 24, p: 1.1, wantErr: true},
+		{name: "NaN p rejected", l: 1, k: 4, m: 24, p: math.NaN(), wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := CardSleepProbability(c.l, c.k, c.m, c.p)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("CardSleepProbability(%d,%d,%d,%v) = %v, want error", c.l, c.k, c.m, c.p, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.exactMatch && got != c.want {
+				t.Fatalf("got %v, want exactly %v", got, c.want)
+			}
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestExpectedSleepingCardsTable: the Eq 2 sum at its endpoints — all k
+// cards sleep at p=0, none at p=1, and an error from any term propagates.
+func TestExpectedSleepingCardsTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		k, m    int
+		p       float64
+		want    float64
+		wantErr bool
+	}{
+		{name: "p=0 sleeps whole group", k: 4, m: 12, p: 0, want: 4},
+		{name: "p=1 sleeps nothing", k: 4, m: 12, p: 1, want: 0},
+		{name: "single-card group is no-switch", k: 1, m: 12, p: 0.3, want: CardSleepNoSwitch(12, 0.3)},
+		{name: "m=0 rejected", k: 4, m: 0, p: 0.5, wantErr: true},
+		{name: "p>1 rejected", k: 4, m: 12, p: 2, wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := ExpectedSleepingCards(c.k, c.m, c.p)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("got %v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestSoIPoissonTable pins the renewal-reward closed forms at their
+// boundaries: zero timeout and wake delay leave the gateway asleep except
+// during service (P=1 at T=W=0 in this fluid model), each parameter's
+// limit behavior is monotone toward 0, and non-positive or non-finite
+// rates are errors.
+func TestSoIPoissonTable(t *testing.T) {
+	const lambda = 1.0 / 600
+	cases := []struct {
+		name               string
+		lambda, idle, wake float64
+		want               float64 // NaN marks error cases
+	}{
+		{name: "T=0 W=0 always sleeps", lambda: lambda, idle: 0, wake: 0, want: 1},
+		{name: "wake only", lambda: lambda, idle: 0, wake: 60, want: 1 / (lambda*60 + 1)},
+		{name: "timeout only", lambda: lambda, idle: 60, wake: 0, want: 1 / math.Exp(lambda*60)},
+		{name: "reference point", lambda: lambda, idle: 60, wake: 60, want: 1 / (lambda*60 + math.Exp(lambda*60))},
+		{name: "lambda=0 rejected", lambda: 0, idle: 60, wake: 60, want: math.NaN()},
+		{name: "negative lambda rejected", lambda: -1, idle: 60, wake: 60, want: math.NaN()},
+		{name: "Inf lambda rejected", lambda: math.Inf(1), idle: 60, wake: 60, want: math.NaN()},
+		{name: "negative timeout rejected", lambda: lambda, idle: -1, wake: 60, want: math.NaN()},
+		{name: "negative wake rejected", lambda: lambda, idle: 60, wake: -1, want: math.NaN()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := SoIPoissonSleepProbability(c.lambda, c.idle, c.wake)
+			if math.IsNaN(c.want) {
+				if err == nil {
+					t.Fatalf("got %v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-c.want) > 1e-15 {
+				t.Fatalf("P(sleep) = %v, want %v", got, c.want)
+			}
+			// The wakeup rate is λ·P by construction; pin the identity.
+			rate, err := SoIPoissonWakeupRate(c.lambda, c.idle, c.wake)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(rate-c.lambda*got) > 1e-18 {
+				t.Fatalf("wakeup rate %v, want λ·P = %v", rate, c.lambda*got)
+			}
+		})
+	}
+}
+
 // Fig 5 middle panel (m=24, p=0.5): the first card of an 8-switch group
 // sleeps almost surely; deeper cards decay sharply. Check the qualitative
 // anchors the figure shows.

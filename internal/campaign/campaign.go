@@ -50,11 +50,11 @@ func SchemeByName(name string) (sim.Scheme, error) {
 
 // Cell is one (scenario variant, seed, scheme) simulation in a campaign.
 type Cell struct {
-	Index    int    // position in enumeration order
-	Scenario string // variant label, e.g. "base" or "mean-in-range=7,k=2"
-	Seed     int64
-	Scheme   sim.Scheme
-	variant  int // index into Plan.variants
+	Index    int        // position in enumeration order
+	Scenario string     // variant label, e.g. "base" or "mean-in-range=7,k=2"
+	Seed     int64      // scenario-generation and simulation seed
+	Scheme   sim.Scheme // sleep scheme this cell simulates
+	variant  int        // index into Plan.variants
 }
 
 // Key identifies the cell in the manifest, stable across processes.
@@ -72,9 +72,9 @@ type variant struct {
 // Plan is a compiled campaign: the normalized spec plus its full cell
 // enumeration.
 type Plan struct {
-	Spec     dsl.Spec
-	Hash     string
-	Cells    []Cell
+	Spec     dsl.Spec // the normalized spec (defaults applied)
+	Hash     string   // content hash binding manifests to this spec
+	Cells    []Cell   // full cell list in enumeration order
 	variants []variant
 }
 
@@ -208,6 +208,34 @@ func buildFixture(sp dsl.Spec, seed int64, needFull, needQuot bool) (*fixture, e
 	}
 	f.tr, f.tp = tr, tp
 	return f, nil
+}
+
+// BuildScenario generates the concrete (trace, topology) pair a normalized
+// spec describes for one seed — exactly what a campaign cell simulates,
+// minus the scheme and shelf choices. Times throughout are simulated
+// seconds from 0 and sizes are bytes; the same (spec, seed) always yields
+// byte-identical scenarios. It exists for harnesses that need to confront
+// the engine with an independently built scenario, e.g. the analytic
+// oracle's reference interpreter (internal/oracle), which re-simulates the
+// identical trace on its own straight-line event loop.
+func BuildScenario(sp dsl.Spec, seed int64) (*trace.Trace, *topology.Topology, error) {
+	g, err := buildGraph(sp, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := traceConfig(sp, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tp, err := buildTopology(sp, tr, g, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, tp, nil
 }
 
 // traceConfig maps a trace spec to a generator config. Profile families
@@ -352,23 +380,35 @@ func failurePlan(v dsl.Spec, seed int64) sim.FailurePlan {
 // Row is one cell's reduced result — everything the artifacts need, small
 // enough to live in the manifest so resume never re-simulates.
 type Row struct {
-	Scenario      string    `json:"scenario"`
-	Scheme        string    `json:"scheme"`
-	Seed          int64     `json:"seed"`
-	EnergyKWh     float64   `json:"energy_kwh"`
-	UserKWh       float64   `json:"user_kwh"`
-	ISPKWh        float64   `json:"isp_kwh"`
-	Wakeups       int       `json:"wakeups"`
-	Moves         int       `json:"moves"`
-	Resolves      int       `json:"resolves"`
-	MeanOnlineGWs float64   `json:"mean_online_gws"`
-	FCTP50        float64   `json:"fct_p50"`
-	FCTP95        float64   `json:"fct_p95"`
-	PowerHourly   []float64 `json:"power_hourly,omitempty"`
+	Scenario string `json:"scenario"` // variant label (Cell.Scenario)
+	Scheme   string `json:"scheme"`   // canonical scheme name
+	Seed     int64  `json:"seed"`
+	// Energy over the cell's horizon, kilowatt-hours, rounded to 6
+	// significant digits (round6): total and its user/ISP split.
+	EnergyKWh float64 `json:"energy_kwh"`
+	UserKWh   float64 `json:"user_kwh"`
+	ISPKWh    float64 `json:"isp_kwh"`
+	// Wakeups counts gateway Sleeping→Waking transitions; Moves counts
+	// DSLAM line remaps; Resolves counts controller re-solves
+	// (optimal/centralized only).
+	Wakeups  int `json:"wakeups"`
+	Moves    int `json:"moves"`
+	Resolves int `json:"resolves"`
+	// MeanOnlineGWs is the time-average number of non-sleeping gateways.
+	MeanOnlineGWs float64 `json:"mean_online_gws"`
+	// FCT percentiles, seconds, over downlink flows (uplink flows are
+	// unsimulated and excluded).
+	FCTP50 float64 `json:"fct_p50"`
+	FCTP95 float64 `json:"fct_p95"`
+	// PowerHourly is the mean total draw of each simulated hour, watts;
+	// present only when the spec requested the "power" output.
+	PowerHourly []float64 `json:"power_hourly,omitempty"`
 
 	// Robustness metrics of failure-injection campaigns. A nil
 	// Availability marks a failure-free cell (the omitempty trio keeps
 	// failure-free manifest rows byte-identical to pre-failure ones).
+	// StrandedS is total stranded client-seconds; Availability is
+	// 1 − stranded fraction ∈ [0, 1].
 	StrandedS    float64  `json:"stranded_s,omitempty"`
 	Reconnects   int      `json:"reconnects,omitempty"`
 	Availability *float64 `json:"availability,omitempty"`

@@ -153,6 +153,33 @@ func (geom *collapseGeometry) materialize(sp dsl.Spec, seed int64) error {
 	return nil
 }
 
+// BuildCollapsedScenario is BuildScenario's quotient counterpart for
+// external harnesses (the analytic oracle's triangulation leg): it runs
+// the same eligibility analysis and materialization the campaign collapse
+// pass uses and returns the quotient trace, its edgeless topology, and
+// the sim.QuotientPlan mapping results back onto the full scenario. When
+// the spec does not admit exact collapse — placement not symmetric, no
+// canonical graph, or nothing merges — it returns a nil plan and no
+// error: the caller should simulate the full scenario instead. Failure
+// blocks are rejected here (the campaign runner owns their remapping).
+func BuildCollapsedScenario(sp dsl.Spec, seed int64) (*trace.Trace, *topology.Topology, *sim.QuotientPlan, error) {
+	if sp.Failures != nil {
+		return nil, nil, nil, fmt.Errorf("campaign: BuildCollapsedScenario does not remap failure plans")
+	}
+	g, err := buildGraph(sp, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	geom := buildGeometry(sp, seed, g)
+	if geom == nil {
+		return nil, nil, nil, nil
+	}
+	if err := geom.materialize(sp, seed); err != nil {
+		return nil, nil, nil, err
+	}
+	return geom.tr, geom.tp, geom.plan, nil
+}
+
 // collapseMode resolves the effective collapse mode: a run-time override
 // ("auto"/"off") wins over the spec's collapse key; both default to auto.
 // The mode never feeds the spec hash or the artifacts — it only chooses

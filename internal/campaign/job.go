@@ -23,7 +23,8 @@ import (
 type RowEvent struct {
 	// Index is the cell's position in Plan.Cells enumeration order.
 	Index int `json:"index"`
-	// Key is the cell's manifest key, e.g. "base|SoI|1".
+	// Key is the cell's manifest key, e.g. "base|SoI|1"; Scenario,
+	// Scheme and Seed are its components, split out for consumers.
 	Key      string `json:"key"`
 	Scenario string `json:"scenario"`
 	Scheme   string `json:"scheme"`
@@ -37,7 +38,8 @@ type RowEvent struct {
 	Cached bool `json:"cached,omitempty"`
 	// Retry marks the outcome of a failed cell's second attempt.
 	Retry bool `json:"retry,omitempty"`
-	// Done counts cells with a successful row so far, over len(Plan.Cells).
+	// Done counts cells with a successful row so far; Total is
+	// len(Plan.Cells).
 	Done  int `json:"done"`
 	Total int `json:"total"`
 }

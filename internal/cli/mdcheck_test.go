@@ -1,0 +1,126 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHeadingSlug(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Simple Heading", "simple-heading"},
+		{"Error taxonomy → status codes", "error-taxonomy--status-codes"},
+		{"`cmd/simd` HTTP API", "cmdsimd-http-api"},
+		{"SoI+k-switch (§4.2, Eq 2)", "soik-switch-42-eq-2"},
+		{"-randomwake (modifier)", "-randomwake-modifier"},
+		{"With [a link](docs/API.md) inside", "with-a-link-inside"},
+	}
+	for _, c := range cases {
+		if got := HeadingSlug(c.in); got != c.want {
+			t.Errorf("HeadingSlug(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMdAnchorsDuplicatesAndFences(t *testing.T) {
+	src := []byte("# Top\n## Dup\n## Dup\n```\n# not a heading\n```\n## Dup\n")
+	a := mdAnchors(src)
+	for _, want := range []string{"top", "dup", "dup-1", "dup-2"} {
+		if !a[want] {
+			t.Errorf("anchor %q missing from %v", want, a)
+		}
+	}
+	if a["not-a-heading"] {
+		t.Error("heading inside a code fence was indexed")
+	}
+}
+
+// writeTree lays out a throwaway doc tree and returns the file paths.
+func writeTree(t *testing.T, files map[string]string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	var out []string
+	for name, body := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasSuffix(name, ".md") {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestCheckMarkdownLinksClean(t *testing.T) {
+	files := writeTree(t, map[string]string{
+		"README.md": "# Readme\n\nSee [docs](docs/GUIDE.md#part-two) and [self](#readme).\n" +
+			"External [site](https://example.com/x#y) is skipped.\n" +
+			"```\n[broken](inside/fence.md) is ignored\n```\n",
+		"docs/GUIDE.md": "# Guide\n## Part One\n## Part Two\n\nBack to [readme](../README.md).\n",
+	})
+	problems, err := CheckMarkdownLinks(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean tree reported problems: %v", problems)
+	}
+}
+
+func TestCheckMarkdownLinksBroken(t *testing.T) {
+	files := writeTree(t, map[string]string{
+		"README.md":     "# Readme\n\n[gone](docs/MISSING.md)\n[bad anchor](docs/GUIDE.md#nope)\n[bad self](#nothere)\n",
+		"docs/GUIDE.md": "# Guide\n",
+	})
+	problems, err := CheckMarkdownLinks(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 {
+		t.Fatalf("want 3 problems, got %d: %v", len(problems), problems)
+	}
+	for _, want := range []string{"MISSING.md", "#nope", "#nothere"} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no problem mentions %q: %v", want, problems)
+		}
+	}
+	// Every problem carries file:line so CI output is clickable.
+	for _, p := range problems {
+		if !strings.Contains(p, "README.md:") {
+			t.Errorf("problem without file:line prefix: %q", p)
+		}
+	}
+}
+
+// TestRepoDocsLinksAreValid runs the checker over the repo's real docs —
+// the same invocation the CI lint step uses via cmd/mdcheck.
+func TestRepoDocsLinksAreValid(t *testing.T) {
+	root := "../.."
+	files := []string{filepath.Join(root, "README.md")}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) < 4 {
+		t.Fatalf("expected README + ≥3 docs files, found %v", files)
+	}
+	problems, err := CheckMarkdownLinks(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

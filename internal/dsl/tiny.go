@@ -1,0 +1,73 @@
+package dsl
+
+import (
+	"math/rand"
+)
+
+// Tiny-spec helpers for the analytic oracle (internal/oracle): randomized
+// scenario specs small enough that an exhaustive reference interpreter can
+// re-simulate them, plus the shrinking step the oracle applies on failure.
+
+// TinySpecMaxGateways bounds TinySpec scenarios: the oracle's reference
+// interpreter is O(events x gateways) with no sharding, so specs stay at "a
+// handful of gateways, short horizons" as the cross-check harness requires.
+const TinySpecMaxGateways = 5
+
+// TinySpec draws a random small scenario spec: 2..TinySpecMaxGateways
+// gateways, between one and three clients per gateway, a 900..3600 s horizon
+// (seconds), a randomly chosen trace profile, and the overlap topology. The
+// spec is already normalized (WithDefaults applied); Schemes is a
+// placeholder single entry — oracle runs pick the scheme per check and
+// ignore the field. Draws come only from r, so a seeded RNG reproduces the
+// spec exactly.
+func TinySpec(r *rand.Rand) Spec {
+	gws := 2 + r.Intn(TinySpecMaxGateways-1)
+	s := Spec{
+		Name:     "oracle-tiny",
+		Schemes:  []string{"SoI"},
+		Duration: float64(900 + r.Intn(2701)),
+		Trace: TraceSpec{
+			Profile:  ProfileNames[r.Intn(len(ProfileNames))],
+			Gateways: gws,
+			Clients:  gws + r.Intn(2*gws+1),
+		},
+		Topology: TopoSpec{Kind: "overlap"},
+	}
+	out, err := s.WithDefaults()
+	if err != nil { // unreachable: every draw above is in-range by construction
+		panic(err)
+	}
+	return out
+}
+
+// ShrinkSpec returns a strictly smaller version of a failing tiny spec —
+// gateways, clients, and duration each halved (floored at 1 gateway, 1
+// client per gateway, 300 s) — for the oracle's shrink-on-failure loop. The
+// second result is false when the spec is already minimal and cannot shrink
+// further.
+func ShrinkSpec(s Spec) (Spec, bool) {
+	t := s
+	if g := t.Trace.Gateways / 2; g >= 1 && g < t.Trace.Gateways {
+		t.Trace.Gateways = g
+	}
+	if c := t.Trace.Clients / 2; c >= t.Trace.Gateways && c < t.Trace.Clients {
+		t.Trace.Clients = c
+	}
+	if t.Trace.Clients < t.Trace.Gateways {
+		t.Trace.Clients = t.Trace.Gateways
+	}
+	if d := t.Duration / 2; d >= 300 {
+		t.Duration = d
+	}
+	changed := t.Trace.Gateways != s.Trace.Gateways ||
+		t.Trace.Clients != s.Trace.Clients ||
+		t.Duration != s.Duration
+	if !changed {
+		return s, false
+	}
+	out, err := t.WithDefaults()
+	if err != nil { // unreachable: shrinking preserves validity
+		panic(err)
+	}
+	return out, true
+}

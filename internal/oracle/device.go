@@ -1,0 +1,146 @@
+package oracle
+
+import (
+	"math"
+
+	"insomnia/internal/power"
+)
+
+// refDevice is a straight-line re-statement of power.Device: energy and
+// on-time integrate lazily between state changes, joules accrue at the
+// active draw unless Sleeping (sleep draw is 0 W across the plant), and a
+// wakeup is any Sleeping→Waking or Sleeping→On transition. The arithmetic
+// — one dt*draw product per transition segment — is kept in the same
+// order as the engine's, so energies compare with ==.
+type refDevice struct {
+	activeW    float64
+	state      power.State
+	lastChange float64
+	joules     float64
+	onTime     float64
+	wakeups    int
+}
+
+func newRefDevice(activeW float64, initial power.State) *refDevice {
+	return &refDevice{activeW: activeW, state: initial}
+}
+
+func (d *refDevice) draw() float64 {
+	if d.state == power.Sleeping {
+		return 0
+	}
+	return d.activeW
+}
+
+func (d *refDevice) advance(t float64) {
+	if t < d.lastChange {
+		panic("oracle: refDevice time went backwards")
+	}
+	dt := t - d.lastChange
+	d.joules += dt * d.draw()
+	if d.state != power.Sleeping {
+		d.onTime += dt
+	}
+	d.lastChange = t
+}
+
+func (d *refDevice) setState(t float64, s power.State) {
+	d.advance(t)
+	if d.state == power.Sleeping && (s == power.Waking || s == power.On) {
+		d.wakeups++
+	}
+	d.state = s
+}
+
+func (d *refDevice) energyAt(t float64) float64 {
+	d.advance(t)
+	return d.joules
+}
+
+func (d *refDevice) onTimeAt(t float64) float64 {
+	d.advance(t)
+	return d.onTime
+}
+
+// refCtl is a straight-line re-statement of soi.Controller, the
+// sleep-on-idle automaton: Sleeping until touched, Waking for exactly
+// wake seconds, On until idle seconds pass with no activity. NoSleep
+// gateways reuse it with idle = +Inf and an On initial state, which pins
+// next() at +Inf so no transition ever fires.
+type refCtl struct {
+	idle, wake   float64
+	dev          *refDevice
+	lastActivity float64
+	wakeAt       float64
+}
+
+func newRefCtl(dev *refDevice, idle, wake float64) *refCtl {
+	return &refCtl{idle: idle, wake: wake, dev: dev, wakeAt: math.Inf(1)}
+}
+
+// advance fires every transition due at or before t, in order: a pending
+// wake completes at wakeAt (activity floored there, so the idle clock
+// starts at wake completion), and an idle deadline puts the device to
+// sleep at lastActivity+idle exactly — the same floats the engine's
+// controller produces.
+func (c *refCtl) advance(t float64) {
+	for {
+		switch c.dev.state {
+		case power.Waking:
+			if c.wakeAt <= t {
+				c.dev.setState(c.wakeAt, power.On)
+				if c.wakeAt > c.lastActivity {
+					c.lastActivity = c.wakeAt
+				}
+				c.wakeAt = math.Inf(1)
+				continue
+			}
+		case power.On:
+			if deadline := c.lastActivity + c.idle; deadline <= t {
+				c.dev.setState(deadline, power.Sleeping)
+				continue
+			}
+		}
+		return
+	}
+}
+
+// touch records traffic at t and reports whether it started a wake
+// (Sleeping→Waking with wake completion scheduled at t+wake).
+func (c *refCtl) touch(t float64) bool {
+	c.advance(t)
+	if t > c.lastActivity {
+		c.lastActivity = t
+	}
+	if c.dev.state == power.Sleeping {
+		c.dev.setState(t, power.Waking)
+		c.wakeAt = t + c.wake
+		return true
+	}
+	return false
+}
+
+// busy bumps the activity clock without waking (the engine calls this for
+// a gateway found On with flows in service).
+func (c *refCtl) busy(t float64) {
+	if t > c.lastActivity {
+		c.lastActivity = t
+	}
+}
+
+// next returns the time of the next autonomous transition: wake
+// completion while Waking, the idle deadline while On, +Inf while
+// Sleeping (only traffic can move a sleeping gateway).
+func (c *refCtl) next() float64 {
+	switch c.dev.state {
+	case power.Waking:
+		return c.wakeAt
+	case power.On:
+		return c.lastActivity + c.idle
+	}
+	return math.Inf(1)
+}
+
+func (c *refCtl) awake() bool {
+	return c.dev.state == power.On
+}

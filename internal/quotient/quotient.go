@@ -83,6 +83,7 @@ func Partition(hoods []uint64, clientCount []int, forced []bool) []Class {
 // Quotient is the collapsed scenario derived from a partition: class i of
 // the partition becomes gateway i of the quotient scenario.
 type Quotient struct {
+	// Classes is the partition, in Partition's largest-first order.
 	Classes []Class
 	// Rep[i] is the full gateway id representing class i (its smallest
 	// member).

@@ -703,8 +703,10 @@ func (s *sim) result() *Result {
 			res.Wakeups += g.ctl.Device().Wakeups()
 		}
 	}
-	for _, cd := range s.cards {
+	res.CardOnTime = make([]float64, len(s.cards))
+	for i, cd := range s.cards {
 		res.Energy.ISPJ += cd.EnergyAt(s.end)
+		res.CardOnTime[i] = cd.OnTimeAt(s.end)
 	}
 	res.Energy.ISPJ += s.shelf.EnergyAt(s.end)
 	res.Availability = 1

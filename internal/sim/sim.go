@@ -292,6 +292,13 @@ type Result struct {
 	// GatewayOnTime[g] is gateway g's total non-sleeping seconds.
 	GatewayOnTime []float64
 
+	// CardOnTime[cd] is line card cd's total non-sleeping seconds — the
+	// per-card introspection hook the analytic oracle (internal/oracle)
+	// uses to compare measured card-sleep fractions against Eq 2. Under a
+	// quotient run the shelf is full-sized, so the slice already has the
+	// full scenario's card count.
+	CardOnTime []float64
+
 	Energy   power.Accounting // total joules split user/ISP
 	Wakeups  int              // gateway wake transitions
 	Moves    int              // BH2 re-associations
